@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 9: SBR vs DBBR band reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_matrix::gen;
+use tridiag_core::{band_reduce, dbbr, DbbrConfig};
+
+fn bench_band_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("band_reduction");
+    g.sample_size(10);
+    for &n in &[128usize, 256] {
+        let b = 8;
+        let a0 = gen::random_symmetric(n, 1);
+        g.bench_with_input(BenchmarkId::new("sbr", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut a = a0.clone();
+                band_reduce(&mut a, b, 64)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("dbbr", n), &n, |bench, _| {
+            let cfg = DbbrConfig::new(b, 4 * b);
+            bench.iter(|| {
+                let mut a = a0.clone();
+                dbbr(&mut a, &cfg)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_band_reduction);
+criterion_main!(benches);

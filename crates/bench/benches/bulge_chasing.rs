@@ -1,0 +1,24 @@
+//! Criterion bench for Figures 5/11/12: bulge chasing, sequential vs the
+//! Algorithm-2 pipeline at several sweep counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_matrix::{gen, SymBand};
+use tridiag_core::{bulge_chase_pipelined, bulge_chase_seq};
+
+fn bench_bc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulge_chasing");
+    g.sample_size(10);
+    let n = 256;
+    let b = 8;
+    let band = SymBand::from_dense_lower(&gen::random_symmetric_band(n, b, 1), b);
+    g.bench_function("seq", |bench| bench.iter(|| bulge_chase_seq(&band)));
+    for &s in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("pipelined", s), &s, |bench, &s| {
+            bench.iter(|| bulge_chase_pipelined(&band, s));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bc);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 16: end-to-end EVD, three pipelines,
+//! with and without eigenvectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_eigen::{syevd, EvdMethod};
+use tg_matrix::gen;
+
+fn bench_evd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evd");
+    g.sample_size(10);
+    let n = 128;
+    let a0 = gen::random_symmetric(n, 1);
+    let cases: Vec<(&str, EvdMethod)> = vec![
+        ("cusolver_like", EvdMethod::CusolverLike { nb: 16 }),
+        ("magma_like", EvdMethod::MagmaLike { b: 8 }),
+        (
+            "proposed",
+            EvdMethod::Proposed {
+                b: 8,
+                k: 32,
+                parallel_sweeps: 4,
+                backtransform_k: 64,
+            },
+        ),
+    ];
+    for (name, m) in &cases {
+        for &vectors in &[false, true] {
+            let id = format!("{name}/{}", if vectors { "vectors" } else { "values" });
+            g.bench_with_input(BenchmarkId::new(id, n), m, |bench, m| {
+                bench.iter(|| {
+                    let mut a = a0.clone();
+                    syevd(&mut a, m, vectors).unwrap()
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_evd);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table 1 / Figure 8: syr2k throughput vs rank k and
+//! blocking scheme (conventional strips vs the paper's square blocks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tg_blas::{syr2k_blocked, syr2k_square};
+use tg_matrix::gen;
+
+fn bench_syr2k(c: &mut Criterion) {
+    let n = 256;
+    let mut g = c.benchmark_group("syr2k");
+    g.sample_size(10);
+    for &k in &[8usize, 32, 128] {
+        let a = gen::random(n, k, 1);
+        let b = gen::random(n, k, 2);
+        g.throughput(Throughput::Elements(tg_blas::flops::syr2k(n, k)));
+        g.bench_with_input(BenchmarkId::new("blocked", k), &k, |bench, _| {
+            let mut cm = gen::random_symmetric(n, 3);
+            bench.iter(|| syr2k_blocked(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut(), 64));
+        });
+        g.bench_with_input(BenchmarkId::new("square", k), &k, |bench, _| {
+            let mut cm = gen::random_symmetric(n, 3);
+            bench.iter(|| syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut(), 64, 2));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_syr2k);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 15: the three tridiagonalization pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_matrix::gen;
+use tridiag_core::{tridiagonalize, DbbrConfig, Method};
+
+fn bench_tridiag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tridiag");
+    g.sample_size(10);
+    let n = 192;
+    let a0 = gen::random_symmetric(n, 1);
+    let cases: Vec<(&str, Method)> = vec![
+        ("direct", Method::Direct { nb: 16 }),
+        ("sbr_bc", Method::Sbr { b: 8, parallel_sweeps: 1 }),
+        (
+            "dbbr_pipelined",
+            Method::Dbbr {
+                cfg: DbbrConfig::new(8, 32),
+                parallel_sweeps: 4,
+            },
+        ),
+    ];
+    for (name, m) in cases {
+        g.bench_with_input(BenchmarkId::new(name, n), &m, |bench, m| {
+            bench.iter(|| {
+                let mut a = a0.clone();
+                tridiagonalize(&mut a, m)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tridiag);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # tg-bench
+//!
+//! Benchmark harness for the reproduction:
+//!
+//! * the `repro` binary regenerates every table and figure of the paper's
+//!   evaluation (model-composed at paper scale, plus measured CPU-scale
+//!   shape checks where the real kernels are exercised),
+//! * the `benches/` directory holds criterion benchmarks over the real
+//!   Rust kernels (syr2k variants, band reduction, bulge chasing, back
+//!   transformation, tridiagonalization, EVD).
+
+pub mod measured;
+pub mod report;

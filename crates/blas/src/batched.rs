@@ -1,0 +1,136 @@
+//! Batched GEMM — many independent small multiplies dispatched together.
+//!
+//! The paper's Figure-13 back transformation forms progressively larger `W`
+//! blocks by merging pairs in parallel with batched GEMM; this module is the
+//! CPU analogue of that cuBLAS batched call.
+
+use crate::level3::{gemm, Op};
+use rayon::prelude::*;
+use tg_matrix::Mat;
+
+/// One GEMM problem in a batch: `C ← α·op(A)·op(B) + β·C`.
+pub struct GemmJob<'a> {
+    pub alpha: f64,
+    pub a: &'a Mat,
+    pub op_a: Op,
+    pub b: &'a Mat,
+    pub op_b: Op,
+    pub beta: f64,
+    pub c: &'a mut Mat,
+}
+
+/// Executes every job in the batch, in parallel when the batch is non-trivial.
+pub fn gemm_batched(jobs: Vec<GemmJob<'_>>) {
+    if jobs.len() <= 1 {
+        for j in jobs {
+            run(j);
+        }
+    } else {
+        jobs.into_par_iter().for_each(run);
+    }
+}
+
+fn run(j: GemmJob<'_>) {
+    let GemmJob {
+        alpha,
+        a,
+        op_a,
+        b,
+        op_b,
+        beta,
+        c,
+    } = j;
+    gemm(alpha, &a.as_ref(), op_a, &b.as_ref(), op_b, beta, &mut c.as_mut());
+}
+
+/// Uniform batched GEMM over parallel slices:
+/// `C[i] ← α·op(A[i])·op(B[i]) + β·C[i]` for every `i`.
+pub fn gemm_batched_uniform(
+    alpha: f64,
+    a: &[Mat],
+    op_a: Op,
+    b: &[Mat],
+    op_b: Op,
+    beta: f64,
+    c: &mut [Mat],
+) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    c.par_iter_mut().enumerate().for_each(|(i, ci)| {
+        gemm(
+            alpha,
+            &a[i].as_ref(),
+            op_a,
+            &b[i].as_ref(),
+            op_b,
+            beta,
+            &mut ci.as_mut(),
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::gen;
+
+    #[test]
+    fn uniform_batch_matches_singles() {
+        let batch = 5;
+        let a: Vec<Mat> = (0..batch).map(|i| gen::random(4, 3, i as u64)).collect();
+        let b: Vec<Mat> = (0..batch).map(|i| gen::random(3, 6, 100 + i as u64)).collect();
+        let mut c: Vec<Mat> = (0..batch).map(|_| Mat::zeros(4, 6)).collect();
+        gemm_batched_uniform(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c);
+        for i in 0..batch {
+            let expect =
+                crate::level3::gemm_into(1.0, &a[i].as_ref(), Op::NoTrans, &b[i].as_ref(), Op::NoTrans);
+            for jj in 0..6 {
+                for ii in 0..4 {
+                    assert!((c[i][(ii, jj)] - expect[(ii, jj)]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_jobs() {
+        let a1 = gen::random(2, 2, 1);
+        let b1 = gen::random(2, 2, 2);
+        let mut c1 = Mat::zeros(2, 2);
+        let a2 = gen::random(5, 3, 3);
+        let b2 = gen::random(5, 3, 4);
+        let mut c2 = Mat::zeros(3, 3);
+        gemm_batched(vec![
+            GemmJob {
+                alpha: 1.0,
+                a: &a1,
+                op_a: Op::NoTrans,
+                b: &b1,
+                op_b: Op::NoTrans,
+                beta: 0.0,
+                c: &mut c1,
+            },
+            GemmJob {
+                alpha: 2.0,
+                a: &a2,
+                op_a: Op::Trans,
+                b: &b2,
+                op_b: Op::NoTrans,
+                beta: 0.0,
+                c: &mut c2,
+            },
+        ]);
+        let e1 = crate::level3::gemm_into(1.0, &a1.as_ref(), Op::NoTrans, &b1.as_ref(), Op::NoTrans);
+        let e2 = crate::level3::gemm_into(2.0, &a2.as_ref(), Op::Trans, &b2.as_ref(), Op::NoTrans);
+        for j in 0..2 {
+            for i in 0..2 {
+                assert!((c1[(i, j)] - e1[(i, j)]).abs() < 1e-13);
+            }
+        }
+        for j in 0..3 {
+            for i in 0..3 {
+                assert!((c2[(i, j)] - e2[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+}

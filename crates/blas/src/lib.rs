@@ -1,0 +1,49 @@
+//! # tg-blas
+//!
+//! Pure-Rust BLAS level 1/2/3 kernels over [`tg_matrix`] types.
+//!
+//! The level-3 module contains three `syr2k` implementations because the
+//! paper's §5.1 contribution is precisely a re-blocked `syr2k`:
+//!
+//! * [`level3::syr2k_ref`] — triple-loop reference (used to validate the rest),
+//! * [`syr2k::syr2k_blocked`] — conventional rectangular-strip blocking
+//!   (what cuBLAS-style implementations do, per \[23\] in the paper),
+//! * [`syr2k::syr2k_square`] — the paper's Figure-7 scheme: diagonal blocks
+//!   first, then *paired* off-diagonal blocks merged into square GEMMs.
+//!
+//! All kernels operate on `f64` and follow LAPACK lower-triangle conventions
+//! for symmetric updates.
+
+pub mod batched;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod pack;
+pub mod syr2k;
+pub mod triangular;
+
+pub use level3::{gemm, gemm_into, Op};
+pub use pack::gemm_packed;
+pub use triangular::potrf_lower;
+pub use syr2k::{syr2k_blocked, syr2k_square};
+
+/// Floating-point operation counts for the kernels in this crate, used by
+/// the benchmark harness to report TFLOP-style rates consistently with the
+/// paper (which counts a fused multiply-add as 2 flops).
+pub mod flops {
+    /// `C ← α·op(A)op(B) + β·C` with result `m × n` and inner dimension `k`.
+    pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
+        2 * m as u64 * n as u64 * k as u64
+    }
+
+    /// Rank-2k symmetric update of an `n × n` matrix: `C ← C − Z Yᵀ − Y Zᵀ`.
+    /// Only the referenced triangle is computed.
+    pub fn syr2k(n: usize, k: usize) -> u64 {
+        2 * k as u64 * n as u64 * (n as u64 + 1)
+    }
+
+    /// Full dense tridiagonalization of an `n × n` symmetric matrix.
+    pub fn sytrd(n: usize) -> u64 {
+        4 * (n as u64).pow(3) / 3
+    }
+}

@@ -1,0 +1,285 @@
+//! Packed, register-blocked GEMM.
+//!
+//! The column-oriented kernel in [`crate::level3`] is simple and correct
+//! but leaves register reuse on the table. This module implements the
+//! classic three-loop blocked GEMM with operand packing (Goto-style):
+//! `A` panels are packed into row-major micro-panels of height `MR`, `B`
+//! panels into column-major micro-panels of width `NR`, and a `MR × NR`
+//! micro-kernel accumulates into registers. On typical x86-64 this runs
+//! 2–4× faster than the naive kernel at large sizes (see
+//! `benches/gemm.rs`).
+//!
+//! Only the `NoTrans × NoTrans` case is implemented natively; the public
+//! [`gemm_packed`] entry packs transposed operands during the copy, so all
+//! four combinations are supported with the same inner kernel.
+
+#![allow(clippy::too_many_arguments)] // kernel plumbing mirrors the BLIS decomposition
+
+use crate::level3::Op;
+use tg_matrix::{MatMut, MatRef};
+
+/// Micro-kernel rows.
+const MR: usize = 4;
+/// Micro-kernel columns.
+const NR: usize = 4;
+/// Cache-block sizes (L1-ish for KC, L2-ish for MC/NC at f64).
+const KC: usize = 256;
+const MC: usize = 128;
+const NC: usize = 512;
+
+/// `C ← α·op(A)·op(B) + β·C` with operand packing and a register-blocked
+/// micro-kernel. Semantics identical to [`crate::gemm`].
+pub fn gemm_packed(
+    alpha: f64,
+    a: &MatRef<'_>,
+    op_a: Op,
+    b: &MatRef<'_>,
+    op_b: Op,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = op_a.rows(a);
+    let k = op_a.cols(a);
+    let n = op_b.cols(b);
+    assert_eq!(op_b.rows(b), k, "inner dimensions disagree");
+    assert_eq!(c.nrows(), m);
+    assert_eq!(c.ncols(), n);
+
+    if beta != 1.0 {
+        for j in 0..n {
+            for x in c.col_mut(j) {
+                *x *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // packing buffers, reused across blocks
+    let mut apack = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![0.0f64; NC.div_ceil(NR) * NR * KC];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, op_b, pc, jc, kc, nc, &mut bpack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(a, op_a, ic, pc, mc, kc, alpha, &mut apack);
+                macro_kernel(&apack, &bpack, mc, nc, kc, ic, jc, c);
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Packs `α·op(A)[ic..ic+mc, pc..pc+kc]` into micro-panels of `MR` rows:
+/// panel `p` holds rows `p·MR..` in k-major order (`MR` consecutive
+/// elements per k).
+fn pack_a(
+    a: &MatRef<'_>,
+    op_a: Op,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    alpha: f64,
+    out: &mut [f64],
+) {
+    let mut idx = 0;
+    let mut p = 0;
+    while p < mc {
+        let h = MR.min(mc - p);
+        for l in 0..kc {
+            for r in 0..MR {
+                out[idx] = if r < h {
+                    alpha
+                        * match op_a {
+                            Op::NoTrans => a.at(ic + p + r, pc + l),
+                            Op::Trans => a.at(pc + l, ic + p + r),
+                        }
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        p += MR;
+    }
+}
+
+/// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into micro-panels of `NR` columns.
+fn pack_b(
+    b: &MatRef<'_>,
+    op_b: Op,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut [f64],
+) {
+    let mut idx = 0;
+    let mut p = 0;
+    while p < nc {
+        let w = NR.min(nc - p);
+        for l in 0..kc {
+            for cidx in 0..NR {
+                out[idx] = if cidx < w {
+                    match op_b {
+                        Op::NoTrans => b.at(pc + l, jc + p + cidx),
+                        Op::Trans => b.at(jc + p + cidx, pc + l),
+                    }
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        p += NR;
+    }
+}
+
+/// Runs the micro-kernel over all `(MR, NR)` tiles of the macro block.
+fn macro_kernel(
+    apack: &[f64],
+    bpack: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ic: usize,
+    jc: usize,
+    c: &mut MatMut<'_>,
+) {
+    let mut jr = 0;
+    while jr < nc {
+        let w = NR.min(nc - jr);
+        let bpanel = &bpack[(jr / NR) * NR * kc..];
+        let mut ir = 0;
+        while ir < mc {
+            let h = MR.min(mc - ir);
+            let apanel = &apack[(ir / MR) * MR * kc..];
+            micro_kernel(apanel, bpanel, kc, h, w, ic + ir, jc + jr, c);
+            ir += MR;
+        }
+        jr += NR;
+    }
+}
+
+/// `MR × NR` register-blocked inner product over `kc`.
+#[inline]
+fn micro_kernel(
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    h: usize,
+    w: usize,
+    ci: usize,
+    cj: usize,
+    c: &mut MatMut<'_>,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    let a = &apanel[..kc * MR];
+    let b = &bpanel[..kc * NR];
+    for l in 0..kc {
+        let av = [a[l * MR], a[l * MR + 1], a[l * MR + 2], a[l * MR + 3]];
+        let bv = [b[l * NR], b[l * NR + 1], b[l * NR + 2], b[l * NR + 3]];
+        for (ai, accr) in av.iter().zip(acc.iter_mut()) {
+            accr[0] += ai * bv[0];
+            accr[1] += ai * bv[1];
+            accr[2] += ai * bv[2];
+            accr[3] += ai * bv[3];
+        }
+    }
+    for jj in 0..w {
+        let col = c.col_mut(cj + jj);
+        for (ii, accr) in acc.iter().enumerate().take(h) {
+            col[ci + ii] += accr[jj];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level3::gemm;
+    use tg_matrix::{gen, Mat};
+
+    fn check(m: usize, n: usize, k: usize, op_a: Op, op_b: Op, seed: u64) {
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        let a = gen::random(ar, ac, seed);
+        let b = gen::random(br, bc, seed + 1);
+        let c0 = gen::random(m, n, seed + 2);
+        let mut c_ref = c0.clone();
+        gemm(1.3, &a.as_ref(), op_a, &b.as_ref(), op_b, -0.5, &mut c_ref.as_mut());
+        let mut c_pk = c0.clone();
+        gemm_packed(1.3, &a.as_ref(), op_a, &b.as_ref(), op_b, -0.5, &mut c_pk.as_mut());
+        assert!(
+            tg_matrix::max_abs_diff(&c_ref, &c_pk) < 1e-10,
+            "mismatch {m}x{n}x{k} {op_a:?}{op_b:?}: {}",
+            tg_matrix::max_abs_diff(&c_ref, &c_pk)
+        );
+    }
+
+    #[test]
+    fn matches_reference_all_ops() {
+        for (op_a, op_b) in [
+            (Op::NoTrans, Op::NoTrans),
+            (Op::NoTrans, Op::Trans),
+            (Op::Trans, Op::NoTrans),
+            (Op::Trans, Op::Trans),
+        ] {
+            check(7, 9, 5, op_a, op_b, 1);
+            check(16, 16, 16, op_a, op_b, 2);
+        }
+    }
+
+    #[test]
+    fn ragged_tile_edges() {
+        // sizes chosen to exercise every partial-tile branch
+        check(1, 1, 1, Op::NoTrans, Op::NoTrans, 10);
+        check(5, 3, 2, Op::NoTrans, Op::NoTrans, 11);
+        check(MR + 1, NR + 3, KC + 7, Op::NoTrans, Op::NoTrans, 12);
+        check(MC + 5, NR, 3, Op::Trans, Op::NoTrans, 13);
+    }
+
+    #[test]
+    fn crosses_cache_blocks() {
+        check(MC + 17, NC / 4 + 9, KC + 31, Op::NoTrans, Op::Trans, 20);
+    }
+
+    #[test]
+    fn views_with_offsets() {
+        let big_a = gen::random(40, 40, 30);
+        let big_b = gen::random(40, 40, 31);
+        let a = big_a.view(3, 5, 20, 12);
+        let b = big_b.view(1, 2, 12, 18);
+        let mut c1 = Mat::zeros(20, 18);
+        gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c1.as_mut());
+        let mut c2 = Mat::zeros(20, 18);
+        gemm_packed(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c2.as_mut());
+        assert!(tg_matrix::max_abs_diff(&c1, &c2) < 1e-11);
+    }
+
+    #[test]
+    fn alpha_beta_special_cases() {
+        let a = gen::random(8, 8, 40);
+        let b = gen::random(8, 8, 41);
+        let c0 = gen::random(8, 8, 42);
+        // alpha = 0 ⇒ C = beta·C
+        let mut c = c0.clone();
+        gemm_packed(0.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans, 2.0, &mut c.as_mut());
+        for j in 0..8 {
+            for i in 0..8 {
+                assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+}

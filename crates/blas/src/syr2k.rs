@@ -1,0 +1,242 @@
+//! Blocked symmetric rank-2k updates — the kernel the paper re-engineers.
+//!
+//! `syr2k` computes `C ← β·C + α·(A Bᵀ + B Aᵀ)` on the lower triangle of an
+//! `n × n` matrix `C`, with `A, B ∈ ℝ^{n×k}`. In SBR/DBBR this is the
+//! trailing-matrix update `A₂ ← A₂ − Z Yᵀ − Y Zᵀ` (Equation 1), and its
+//! throughput decides the throughput of the whole band reduction (§3.2).
+//!
+//! Two blockings are provided:
+//!
+//! * [`syr2k_blocked`] — the conventional scheme (cf. \[23\] in the paper):
+//!   walk column panels of width `nb`; each panel contributes one small
+//!   triangular block plus one **tall skinny** `(n−j) × nb` GEMM. Tall
+//!   skinny shapes are exactly what underutilizes wide GPUs.
+//! * [`syr2k_square`] — the paper's Figure-7 scheme: partition `C` into an
+//!   `sb × sb` super-block grid (`sb = g·nb`); diagonal super-blocks first,
+//!   then the off-diagonal super-blocks, each of which is a **square**
+//!   `sb × sb` GEMM pair. All off-diagonal blocks are independent, so they
+//!   are dispatched to rayon.
+
+use crate::level3::{gemm, syr2k_ref, Op};
+use rayon::prelude::*;
+use tg_matrix::{MatMut, MatRef};
+
+fn check_shapes(a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut<'_>) -> (usize, usize) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n, "C must be square");
+    assert_eq!(a.nrows(), n, "A rows");
+    assert_eq!(b.nrows(), n, "B rows");
+    assert_eq!(a.ncols(), b.ncols(), "A/B rank");
+    (n, a.ncols())
+}
+
+/// Conventional column-panel blocking (tall-skinny strips).
+///
+/// Only the lower triangle of `C` is referenced and updated.
+pub fn syr2k_blocked(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    nb: usize,
+) {
+    let (n, _k) = check_shapes(a, b, c);
+    assert!(nb > 0);
+    let mut j = 0;
+    while j < n {
+        let w = nb.min(n - j);
+        // diagonal block (triangular part)
+        {
+            let aj = a.submatrix(j, 0, w, a.ncols());
+            let bj = b.submatrix(j, 0, w, b.ncols());
+            let mut cd = c.rb_mut().submatrix_mut(j, j, w, w);
+            syr2k_ref(alpha, &aj, &bj, beta, &mut cd);
+        }
+        // sub-diagonal strip: C[j+w.., j..j+w] — a tall skinny GEMM pair
+        if j + w < n {
+            let m = n - j - w;
+            let ai = a.submatrix(j + w, 0, m, a.ncols());
+            let bi = b.submatrix(j + w, 0, m, b.ncols());
+            let aj = a.submatrix(j, 0, w, a.ncols());
+            let bj = b.submatrix(j, 0, w, b.ncols());
+            let mut cs = c.rb_mut().submatrix_mut(j + w, j, m, w);
+            gemm(alpha, &ai, Op::NoTrans, &bj, Op::Trans, beta, &mut cs);
+            gemm(alpha, &bi, Op::NoTrans, &aj, Op::Trans, 1.0, &mut cs);
+        }
+        j += w;
+    }
+}
+
+/// Figure-7 square-block scheme.
+///
+/// `nb` is the base block size; `g` merges `g × g` base blocks into one
+/// square super-block GEMM. `g = 1` degenerates to per-block updates;
+/// the paper's figure corresponds to pairing blocks (`g = 2`).
+///
+/// ```
+/// use tg_blas::syr2k_square;
+/// use tg_matrix::{gen, Mat};
+///
+/// let (n, k) = (12, 4);
+/// let z = gen::random(n, k, 1);
+/// let y = gen::random(n, k, 2);
+/// let mut c = gen::random_symmetric(n, 3);
+/// // the Equation-1 trailing update: C ← C − Z Yᵀ − Y Zᵀ (lower triangle)
+/// syr2k_square(-1.0, &z.as_ref(), &y.as_ref(), 1.0, &mut c.as_mut(), 4, 2);
+/// ```
+pub fn syr2k_square(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    nb: usize,
+    g: usize,
+) {
+    let (n, _k) = check_shapes(a, b, c);
+    assert!(nb > 0 && g > 0);
+    let sb = nb * g;
+
+    // Column super-blocks are disjoint in storage, so rayon can own them.
+    let nblk = n.div_ceil(sb);
+    let mut col_blocks: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(nblk);
+    {
+        let mut rest = c.rb_mut();
+        let mut j0 = 0;
+        while j0 < n {
+            let w = sb.min(n - j0);
+            let (head, tail) = rest.split_at_col(w);
+            col_blocks.push((j0, head));
+            rest = tail;
+            j0 += w;
+        }
+    }
+
+    col_blocks.into_par_iter().for_each(|(j0, mut cols)| {
+        let w = cols.ncols();
+        let k = a.ncols();
+        let aj = a.submatrix(j0, 0, w, k);
+        let bj = b.submatrix(j0, 0, w, k);
+        // Step 1 (left graph of Fig. 7): the diagonal super-block, computed
+        // with fine blocking so only the triangle is touched.
+        {
+            let mut cd = cols.rb_mut().submatrix_mut(j0, 0, w, w);
+            syr2k_blocked_inner(alpha, &aj, &bj, beta, &mut cd, nb);
+        }
+        // Step 2 (middle/right graphs): square off-diagonal super-blocks
+        // below the diagonal, each one a pair of square GEMMs.
+        let mut i0 = j0 + w;
+        while i0 < n {
+            let h = sb.min(n - i0);
+            let ai = a.submatrix(i0, 0, h, k);
+            let bi = b.submatrix(i0, 0, h, k);
+            let mut cblk = cols.rb_mut().submatrix_mut(i0, 0, h, w);
+            gemm(alpha, &ai, Op::NoTrans, &bj, Op::Trans, beta, &mut cblk);
+            gemm(alpha, &bi, Op::NoTrans, &aj, Op::Trans, 1.0, &mut cblk);
+            i0 += h;
+        }
+    });
+}
+
+/// Like [`syr2k_blocked`] but the `C` view is the diagonal block itself
+/// (local indices start at 0).
+fn syr2k_blocked_inner(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    nb: usize,
+) {
+    syr2k_blocked(alpha, a, b, beta, c, nb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level3::syr2k_ref;
+    use tg_matrix::{gen, Mat};
+
+    fn check_matches_ref(n: usize, k: usize, nb: usize, g: usize, seed: u64) {
+        let a = gen::random(n, k, seed);
+        let b = gen::random(n, k, seed + 1);
+        let c0 = gen::random_symmetric(n, seed + 2);
+
+        let mut c_ref = c0.clone();
+        syr2k_ref(-1.0, &a.as_ref(), &b.as_ref(), 0.75, &mut c_ref.as_mut());
+
+        let mut c_blk = c0.clone();
+        syr2k_blocked(-1.0, &a.as_ref(), &b.as_ref(), 0.75, &mut c_blk.as_mut(), nb);
+
+        let mut c_sq = c0.clone();
+        syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 0.75, &mut c_sq.as_mut(), nb, g);
+
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (c_blk[(i, j)] - c_ref[(i, j)]).abs() < 1e-10,
+                    "blocked mismatch at ({i},{j}) n={n} k={k} nb={nb}"
+                );
+                assert!(
+                    (c_sq[(i, j)] - c_ref[(i, j)]).abs() < 1e-10,
+                    "square mismatch at ({i},{j}) n={n} k={k} nb={nb} g={g}"
+                );
+            }
+            // upper triangle untouched by all three
+            for i in 0..j {
+                assert_eq!(c_blk[(i, j)], c0[(i, j)]);
+                assert_eq!(c_sq[(i, j)], c0[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        check_matches_ref(16, 4, 4, 2, 100);
+        check_matches_ref(17, 5, 4, 2, 101); // ragged edges
+        check_matches_ref(31, 8, 8, 2, 102);
+        check_matches_ref(12, 3, 16, 2, 103); // nb > n
+        check_matches_ref(24, 6, 4, 3, 104); // g = 3
+        check_matches_ref(9, 2, 3, 1, 105); // g = 1 degenerate
+        check_matches_ref(1, 1, 4, 2, 106); // trivial
+    }
+
+    #[test]
+    fn rank_zero_update_scales_only() {
+        // k = 0: C ← βC
+        let n = 6;
+        let c0 = gen::random_symmetric(n, 200);
+        let a = Mat::zeros(n, 0);
+        let b = Mat::zeros(n, 0);
+        let mut c = c0.clone();
+        syr2k_blocked(2.0, &a.as_ref(), &b.as_ref(), 0.5, &mut c.as_mut(), 4);
+        for j in 0..n {
+            for i in j..n {
+                assert!((c[(i, j)] - 0.5 * c0[(i, j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_result_when_mirrored() {
+        // applying the update to the lower triangle and mirroring equals the
+        // full dense A Bᵀ + B Aᵀ
+        let n = 10;
+        let k = 3;
+        let a = gen::random(n, k, 300);
+        let b = gen::random(n, k, 301);
+        let mut c = Mat::zeros(n, n);
+        syr2k_square(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut(), 4, 2);
+        c.mirror_lower();
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a[(i, l)] * b[(j, l)] + b[(i, l)] * a[(j, l)];
+                }
+                assert!((c[(i, j)] - s).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Triangular factorization and solves: Cholesky (`dpotrf`) and the `trsm`
+//! variants the generalized eigenproblem reduction needs.
+
+use tg_matrix::{Mat, MatMut};
+
+/// Error from [`potrf_lower`]: the leading minor of this order is not
+/// positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// 0-based index of the failing pivot.
+    pub at: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {}", self.at)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix; the lower triangle of `a` is overwritten with `L` (the strict
+/// upper triangle is left untouched).
+pub fn potrf_lower(a: &mut Mat) -> Result<(), NotPositiveDefinite> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    for j in 0..n {
+        // d = A[j][j] − Σ_k L[j][k]²
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= a[(j, k)] * a[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { at: j });
+        }
+        let ljj = d.sqrt();
+        a[(j, j)] = ljj;
+        // column update: L[i][j] = (A[i][j] − Σ_k L[i][k] L[j][k]) / L[j][j]
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L X = B` in place (`L` lower triangular, unit or not by its own
+/// diagonal): forward substitution, column by column of `B`.
+pub fn trsm_lower_left(l: &Mat, b: &mut MatMut<'_>) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(b.nrows(), n);
+    for j in 0..b.ncols() {
+        let col = b.col_mut(j);
+        for i in 0..n {
+            let mut s = col[i];
+            for k in 0..i {
+                s -= l[(i, k)] * col[k];
+            }
+            col[i] = s / l[(i, i)];
+        }
+    }
+}
+
+/// Solves `Lᵀ X = B` in place: backward substitution.
+pub fn trsm_lower_trans_left(l: &Mat, b: &mut MatMut<'_>) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(b.nrows(), n);
+    for j in 0..b.ncols() {
+        let col = b.col_mut(j);
+        for i in (0..n).rev() {
+            let mut s = col[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * col[k];
+            }
+            col[i] = s / l[(i, i)];
+        }
+    }
+}
+
+/// Solves `X Lᵀ = B` in place (rows of `B`): equivalent to solving
+/// `L Xᵀ = Bᵀ` — forward substitution along the columns of `Bᵀ`.
+pub fn trsm_lower_trans_right(l: &Mat, b: &mut MatMut<'_>) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(b.ncols(), n);
+    let m = b.nrows();
+    // process column-index order j: X[:, j] = (B[:, j] − Σ_{k<j} X[:,k] L[j,k]) / L[j,j]
+    for j in 0..n {
+        let ljj = l[(j, j)];
+        for i in 0..m {
+            let mut s = b.at(i, j);
+            for k in 0..j {
+                s -= b.at(i, k) * l[(j, k)];
+            }
+            *b.at_mut(i, j) = s / ljj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm, Op};
+    use tg_matrix::{gen, max_abs_diff};
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let n = 12;
+        let a0 = gen::random_spd(n, 1);
+        let mut l = a0.clone();
+        potrf_lower(&mut l).unwrap();
+        // zero the upper part before L Lᵀ
+        let lclean = Mat_lower(&l);
+        let mut llt = tg_matrix::Mat::zeros(n, n);
+        gemm(
+            1.0,
+            &lclean.as_ref(),
+            Op::NoTrans,
+            &lclean.as_ref(),
+            Op::Trans,
+            0.0,
+            &mut llt.as_mut(),
+        );
+        assert!(max_abs_diff(&llt, &a0) < 1e-10 * n as f64);
+    }
+
+    fn Mat_lower(a: &tg_matrix::Mat) -> tg_matrix::Mat {
+        let n = a.nrows();
+        tg_matrix::Mat::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = tg_matrix::Mat::identity(4);
+        a[(2, 2)] = -1.0;
+        let e = potrf_lower(&mut a).unwrap_err();
+        assert_eq!(e.at, 2);
+    }
+
+    #[test]
+    fn solves_invert_each_other() {
+        let n = 10;
+        let mut spd = gen::random_spd(n, 5);
+        potrf_lower(&mut spd).unwrap();
+        let l = Mat_lower(&spd);
+        let x0 = gen::random(n, 4, 6);
+        // L (L⁻¹ X) == X
+        let mut y = x0.clone();
+        trsm_lower_left(&l, &mut y.as_mut());
+        let ly = crate::gemm_into(1.0, &l.as_ref(), Op::NoTrans, &y.as_ref(), Op::NoTrans);
+        assert!(max_abs_diff(&ly, &x0) < 1e-10);
+        // Lᵀ (L⁻ᵀ X) == X
+        let mut z = x0.clone();
+        trsm_lower_trans_left(&l, &mut z.as_mut());
+        let ltz = crate::gemm_into(1.0, &l.as_ref(), Op::Trans, &z.as_ref(), Op::NoTrans);
+        assert!(max_abs_diff(&ltz, &x0) < 1e-10);
+        // (X L⁻ᵀ) Lᵀ == X
+        let w0 = gen::random(3, n, 7);
+        let mut w = w0.clone();
+        trsm_lower_trans_right(&l, &mut w.as_mut());
+        let wlt = crate::gemm_into(1.0, &w.as_ref(), Op::NoTrans, &l.as_ref(), Op::Trans);
+        assert!(max_abs_diff(&wlt, &w0) < 1e-10);
+    }
+}

@@ -1,0 +1,193 @@
+//! `tridiag` — command-line symmetric eigensolver.
+//!
+//! ```text
+//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed]
+//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …]
+//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …]
+//! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
+//! tridiag info     <in.mtx>
+//! ```
+//!
+//! Matrices are Matrix Market files (`coordinate real symmetric`,
+//! `coordinate real general`, or `array real general`).
+
+use std::process::exit;
+use tg_eigen::{syevd, EvdMethod};
+use tg_matrix::io::{read_matrix_market, write_matrix_market};
+use tg_matrix::{gen, Mat};
+use tridiag_core::{tridiagonalize, Method};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed]\n  \
+         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...]\n  \
+         tridiag reduce   <in.mtx> <out.mtx> [--method ...]\n  \
+         tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
+         tridiag info     <in.mtx>"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+struct Opts {
+    positional: Vec<String>,
+    method: String,
+    n: usize,
+    kind: String,
+    seed: u64,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        positional: Vec::new(),
+        method: "proposed".into(),
+        n: 0,
+        kind: "random".into(),
+        seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--method" => o.method = it.next().cloned().unwrap_or_else(|| usage()),
+            "--n" => {
+                o.n = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--kind" => o.kind = it.next().cloned().unwrap_or_else(|| usage()),
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ if a.starts_with("--") => usage(),
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    o
+}
+
+fn load_symmetric(path: &str) -> Mat {
+    let m = read_matrix_market(path).unwrap_or_else(|e| fail(e));
+    if m.nrows() != m.ncols() {
+        fail(format!("matrix is {}x{}, need square", m.nrows(), m.ncols()));
+    }
+    let defect = tg_matrix::sym_residual(&m);
+    if defect > 1e-12 {
+        fail(format!("matrix is not symmetric (defect {defect:.2e})"));
+    }
+    m
+}
+
+fn evd_method(name: &str, n: usize) -> EvdMethod {
+    let b = (n / 16).clamp(2, 32);
+    match name {
+        "direct" => EvdMethod::CusolverLike { nb: 32 },
+        "magma" => EvdMethod::MagmaLike { b },
+        "proposed" => EvdMethod::proposed_default(n),
+        other => fail(format!("unknown method: {other}")),
+    }
+}
+
+fn tridiag_method(name: &str, n: usize) -> Method {
+    let b = (n / 16).clamp(2, 32);
+    match name {
+        "direct" => Method::Direct { nb: 32 },
+        "magma" => Method::Sbr {
+            b,
+            parallel_sweeps: 1,
+        },
+        "proposed" => Method::paper_default(n),
+        other => fail(format!("unknown method: {other}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let o = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "eigvals" => {
+            let [input] = o.positional.as_slice() else { usage() };
+            let a = load_symmetric(input);
+            let n = a.nrows();
+            let evd = syevd(&mut a.clone(), &evd_method(&o.method, n), false)
+                .unwrap_or_else(|e| fail(e));
+            for v in &evd.eigenvalues {
+                println!("{v:.17e}");
+            }
+        }
+        "evd" => {
+            let [input, out_vals, out_vecs] = o.positional.as_slice() else { usage() };
+            let a = load_symmetric(input);
+            let n = a.nrows();
+            let evd = syevd(&mut a.clone(), &evd_method(&o.method, n), true)
+                .unwrap_or_else(|e| fail(e));
+            let mut vals = Mat::zeros(n, 1);
+            for (i, &v) in evd.eigenvalues.iter().enumerate() {
+                vals[(i, 0)] = v;
+            }
+            write_matrix_market(out_vals, &vals, false).unwrap_or_else(|e| fail(e));
+            write_matrix_market(out_vecs, evd.eigenvectors.as_ref().unwrap(), false)
+                .unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "wrote {n} eigenvalues to {out_vals}, vectors to {out_vecs} \
+                 (residual {:.2e})",
+                evd.residual(&a)
+            );
+        }
+        "reduce" => {
+            let [input, output] = o.positional.as_slice() else { usage() };
+            let a = load_symmetric(input);
+            let n = a.nrows();
+            let red = tridiagonalize(&mut a.clone(), &tridiag_method(&o.method, n));
+            write_matrix_market(output, &red.tri.to_dense(), true).unwrap_or_else(|e| fail(e));
+            eprintln!("wrote tridiagonal form ({n}x{n}) to {output}");
+        }
+        "generate" => {
+            let [output] = o.positional.as_slice() else { usage() };
+            if o.n == 0 {
+                fail("--n is required for generate");
+            }
+            let m = if o.kind == "random" {
+                gen::random_symmetric(o.n, o.seed)
+            } else if o.kind == "spd" {
+                gen::random_spd(o.n, o.seed)
+            } else if let Some(b) = o.kind.strip_prefix("band:") {
+                let b: usize = b.parse().unwrap_or_else(|_| fail("bad band width"));
+                gen::random_symmetric_band(o.n, b, o.seed)
+            } else {
+                fail(format!("unknown kind: {}", o.kind))
+            };
+            write_matrix_market(output, &m, true).unwrap_or_else(|e| fail(e));
+            eprintln!("wrote {} ({}x{})", output, o.n, o.n);
+        }
+        "info" => {
+            let [input] = o.positional.as_slice() else { usage() };
+            let m = read_matrix_market(input).unwrap_or_else(|e| fail(e));
+            let n = m.nrows();
+            println!("shape: {}x{}", n, m.ncols());
+            println!("frobenius norm: {:.6e}", tg_matrix::frob_norm(&m));
+            if m.ncols() == n {
+                println!("symmetry defect: {:.2e}", tg_matrix::sym_residual(&m));
+                // detect bandwidth
+                let mut bw = 0usize;
+                for j in 0..n {
+                    for i in (j + 1)..n {
+                        if m[(i, j)] != 0.0 {
+                            bw = bw.max(i - j);
+                        }
+                    }
+                }
+                println!("bandwidth: {bw}");
+            }
+        }
+        _ => usage(),
+    }
+}

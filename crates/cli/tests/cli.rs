@@ -1,0 +1,124 @@
+//! End-to-end tests of the `tridiag` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tridiag"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tg_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_info_round_trip() {
+    let f = tmp("g.mtx");
+    let out = bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "24", "--kind", "band:3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin().args(["info", f.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("shape: 24x24"), "{text}");
+    assert!(text.contains("bandwidth: 3"), "{text}");
+}
+
+#[test]
+fn eigvals_sorted_and_method_consistent() {
+    let f = tmp("e.mtx");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "32", "--seed", "5"])
+        .output()
+        .unwrap();
+    let mut spectra = Vec::new();
+    for method in ["direct", "magma", "proposed"] {
+        let out = bin()
+            .args(["eigvals", f.to_str().unwrap(), "--method", method])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{method}");
+        let vals: Vec<f64> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(vals.len(), 32);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{method} unsorted");
+        spectra.push(vals);
+    }
+    for k in 1..spectra.len() {
+        for i in 0..32 {
+            assert!((spectra[0][i] - spectra[k][i]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn reduce_preserves_frobenius_norm() {
+    let f = tmp("r.mtx");
+    let t = tmp("rt.mtx");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "20", "--kind", "spd"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["reduce", f.to_str().unwrap(), t.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let norm_of = |p: &PathBuf| -> f64 {
+        let out = bin().args(["info", p.to_str().unwrap()]).output().unwrap();
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let line = text.lines().find(|l| l.starts_with("frobenius")).unwrap().to_string();
+        line.split(": ").nth(1).unwrap().parse().unwrap()
+    };
+    let (n1, n2) = (norm_of(&f), norm_of(&t));
+    assert!((n1 - n2).abs() < 1e-6 * n1, "{n1} vs {n2}");
+}
+
+#[test]
+fn evd_writes_both_outputs() {
+    let f = tmp("v.mtx");
+    let vals = tmp("vv.mtx");
+    let vecs = tmp("vV.mtx");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "16"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args([
+            "evd",
+            f.to_str().unwrap(),
+            vals.to_str().unwrap(),
+            vecs.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(vals.exists() && vecs.exists());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("residual"), "{stderr}");
+}
+
+#[test]
+fn rejects_nonsymmetric_and_bad_args() {
+    // non-symmetric input
+    let f = tmp("bad.mtx");
+    std::fs::write(
+        &f,
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n2 1 3.0\n",
+    )
+    .unwrap();
+    let out = bin().args(["eigvals", f.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    // unknown subcommand
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    // missing file
+    let out = bin().args(["info", "/nonexistent/x.mtx"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,174 @@
+//! Back transformation for the band-reduction stage (§4.3, §5.3).
+//!
+//! After SBR/DBBR, `A = Q₁ B Q₁ᵀ` with
+//! `Q₁ = (I − W₁Y₁ᵀ)(I − W₂Y₂ᵀ) ⋯ (I − W_pY_pᵀ)`, each factor acting on a
+//! trailing row range. Eigenvectors of `B` are mapped back with `Q₁ · X`.
+//!
+//! * [`apply_q1`] — conventional `ormqr` ordering: one factor at a time,
+//!   every GEMM has inner dimension `b` (slow on wide GPUs — Figure 14's
+//!   baseline).
+//! * [`apply_q1_blocked`] — the Figure-13 scheme: factors are merged
+//!   pairwise (batched) into blocks of width `≥ target_k`, then applied;
+//!   the GEMMs become `n × k`-sized at the cost of extra flops for the
+//!   merged `W`s.
+
+use tg_blas::{gemm, gemm_into, Op};
+use tg_householder::wblock::{merge_to_width, WyPair};
+use tg_matrix::{Mat, MatMut};
+
+/// Applies `Q₁` (or `Q₁ᵀ`) to `C` one factor at a time (conventional order).
+///
+/// `factors[i] = (offset, I − WᵢYᵢᵀ)` in product order
+/// (`Q₁ = F₁ F₂ ⋯ F_p`, offsets ascending).
+pub fn apply_q1(factors: &[(usize, WyPair)], c: &mut Mat, trans: bool) {
+    if trans {
+        // Q₁ᵀ C = F_pᵀ ⋯ F₁ᵀ C : forward order, transposed factors
+        for (off, f) in factors {
+            let mut sub = c.view_mut(*off, 0, f.w.nrows(), c.ncols());
+            apply_factor_trans(f, &mut sub);
+        }
+    } else {
+        // Q₁ C = F₁ (F₂ (⋯ F_p C)) : reverse order
+        for (off, f) in factors.iter().rev() {
+            let mut sub = c.view_mut(*off, 0, f.w.nrows(), c.ncols());
+            f.apply_left(&mut sub);
+        }
+    }
+}
+
+/// `(I − W Yᵀ)ᵀ C = C − Y (Wᵀ C)`.
+fn apply_factor_trans(f: &WyPair, c: &mut MatMut<'_>) {
+    let x = gemm_into(1.0, &f.w.as_ref(), Op::Trans, &c.rb(), Op::NoTrans);
+    gemm(
+        -1.0,
+        &f.y.as_ref(),
+        Op::NoTrans,
+        &x.as_ref(),
+        Op::NoTrans,
+        1.0,
+        c,
+    );
+}
+
+/// Applies `Q₁` to `C` with the Figure-13 blocked-`W` scheme.
+///
+/// Consecutive factors are grouped until each group holds `target_k / b`
+/// factors; within a group the factors are zero-padded to the group's
+/// leading offset and merged level-by-level with batched GEMMs
+/// ([`merge_to_width`]), then the few wide factors are applied in order.
+pub fn apply_q1_blocked(factors: &[(usize, WyPair)], c: &mut Mat, target_k: usize) {
+    if factors.is_empty() {
+        return;
+    }
+    let b = factors.iter().map(|(_, f)| f.width()).max().unwrap_or(1);
+    let per_group = (target_k / b.max(1)).max(1);
+
+    // Build merged groups (in product order).
+    let mut merged: Vec<(usize, WyPair)> = Vec::new();
+    for chunk in factors.chunks(per_group) {
+        let off0 = chunk[0].0; // smallest offset (offsets ascend)
+        let rows = chunk.iter().map(|(o, f)| f.w.nrows() + o).max().unwrap() - off0;
+        let padded: Vec<WyPair> = chunk
+            .iter()
+            .map(|(o, f)| pad_top(f, o - off0, rows))
+            .collect();
+        let wide = merge_to_width(padded, target_k);
+        for f in wide {
+            merged.push((off0, f));
+        }
+    }
+    // Q₁ C: apply merged factors in reverse product order.
+    for (off, f) in merged.iter().rev() {
+        let mut sub = c.view_mut(*off, 0, f.w.nrows(), c.ncols());
+        f.apply_left(&mut sub);
+    }
+}
+
+/// Zero-pads a factor with `pad` rows on top (embedding it in a larger
+/// identity) so factors with different supports can be merged.
+fn pad_top(f: &WyPair, pad: usize, rows: usize) -> WyPair {
+    let k = f.width();
+    let m = f.w.nrows();
+    assert!(pad + m <= rows);
+    let mut w = Mat::zeros(rows, k);
+    w.view_mut(pad, 0, m, k).copy_from(&f.w.as_ref());
+    let mut y = Mat::zeros(rows, k);
+    y.view_mut(pad, 0, m, k).copy_from(&f.y.as_ref());
+    WyPair { w, y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbr::band_reduce;
+    use tg_matrix::{gen, max_abs_diff};
+
+    fn setup(n: usize, b: usize, seed: u64) -> Vec<(usize, WyPair)> {
+        let mut a = gen::random_symmetric(n, seed);
+        band_reduce(&mut a, b, 8).factors
+    }
+
+    #[test]
+    fn conventional_matches_form_q() {
+        let n = 20;
+        let factors = setup(n, 3, 1);
+        let mut q = Mat::identity(n);
+        apply_q1(&factors, &mut q, false);
+        // cross-check against BandReduction::form_q by rebuilding
+        let mut a = gen::random_symmetric(n, 1);
+        let red = band_reduce(&mut a, 3, 8);
+        let q_ref = red.form_q(n);
+        assert!(max_abs_diff(&q, &q_ref) < 1e-13);
+    }
+
+    #[test]
+    fn trans_is_inverse() {
+        let n = 18;
+        let factors = setup(n, 2, 2);
+        let c0 = gen::random(n, 5, 10);
+        let mut c = c0.clone();
+        apply_q1(&factors, &mut c, false);
+        apply_q1(&factors, &mut c, true);
+        assert!(max_abs_diff(&c, &c0) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_conventional() {
+        let n = 28;
+        let b = 2;
+        let factors = setup(n, b, 3);
+        let c0 = gen::random(n, 6, 20);
+        for target_k in [2usize, 4, 8, 64] {
+            let mut c1 = c0.clone();
+            apply_q1(&factors, &mut c1, false);
+            let mut c2 = c0.clone();
+            apply_q1_blocked(&factors, &mut c2, target_k);
+            assert!(
+                max_abs_diff(&c1, &c2) < 1e-11,
+                "target_k={target_k}: {}",
+                max_abs_diff(&c1, &c2)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_on_single_factor() {
+        let n = 10;
+        let factors = setup(n, 4, 4);
+        let c0 = gen::random(n, 3, 30);
+        let mut c1 = c0.clone();
+        apply_q1(&factors, &mut c1, false);
+        let mut c2 = c0.clone();
+        apply_q1_blocked(&factors, &mut c2, 1024);
+        assert!(max_abs_diff(&c1, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn empty_factors_noop() {
+        let c0 = gen::random(5, 2, 40);
+        let mut c = c0.clone();
+        apply_q1(&[], &mut c, false);
+        apply_q1_blocked(&[], &mut c, 8);
+        assert_eq!(c, c0);
+    }
+}

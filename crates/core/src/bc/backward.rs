@@ -1,0 +1,217 @@
+//! Blocked bulge-chasing back transformation — the paper's stated future
+//! work (§8: the BC back transformation dominates the with-vectors EVD at
+//! 61 % of total time; "Future work will focus on optimizing this back
+//! transformation process").
+//!
+//! Observation: within one sweep, consecutive reflectors act on **disjoint,
+//! adjacent** row spans (task `t+1` starts at `span_t.end + 1`), so they
+//! commute and the whole sweep collapses into a single block reflector
+//!
+//! ```text
+//! ∏_t (I − τ_t v_t v_tᵀ)  =  I − W_s Y_sᵀ,
+//! Y_s = [v_0 | v_1 | …]  (block-diagonal), W_s = Y_s · diag(τ)
+//! ```
+//!
+//! with *zero* extra flops. Applying a sweep then costs two GEMMs with
+//! inner dimension = tasks-per-sweep (≈ `n/b`) instead of `n/b` rank-1
+//! updates — the same shape transformation Figures 13/14 perform for the
+//! band-reduction factor.
+//!
+//! A second level ([`apply_q_blocked_merged`]) merges `g` *adjacent sweeps*
+//! with the Algorithm-3 identity (their supports overlap, so this costs
+//! extra flops but widens the GEMMs further).
+
+use super::{BcReflector, BcResult};
+use tg_blas::{gemm, gemm_into, Op};
+use tg_householder::wblock::{merge_pair, WyPair};
+use tg_matrix::Mat;
+
+/// One sweep's reflectors as an explicit `(offset, W, Y)` block factor.
+///
+/// Returns `None` for empty sweeps.
+pub fn sweep_block(sweep: &[BcReflector]) -> Option<(usize, WyPair)> {
+    let active: Vec<&BcReflector> = sweep.iter().filter(|r| r.tau != 0.0).collect();
+    if active.is_empty() {
+        return None;
+    }
+    let r0 = active.iter().map(|r| r.row0).min().unwrap();
+    let r1 = active.iter().map(|r| r.row0 + r.v.len()).max().unwrap();
+    let rows = r1 - r0;
+    let k = active.len();
+    let mut y = Mat::zeros(rows, k);
+    let mut w = Mat::zeros(rows, k);
+    for (j, r) in active.iter().enumerate() {
+        for (i, &vi) in r.v.iter().enumerate() {
+            let row = r.row0 - r0 + i;
+            y[(row, j)] = vi;
+            w[(row, j)] = r.tau * vi;
+        }
+    }
+    Some((r0, WyPair { w, y }))
+}
+
+impl BcResult {
+    /// `C ← Q₂ C` (or `Q₂ᵀ C`) using one block reflector per sweep.
+    ///
+    /// Bitwise this differs from [`BcResult::apply_q_left`] only by
+    /// floating-point reassociation; numerically the results agree to
+    /// machine precision.
+    pub fn apply_q_left_blocked(&self, c: &mut Mat, trans: bool) {
+        let blocks: Vec<(usize, WyPair)> = self
+            .reflectors
+            .iter()
+            .filter_map(|s| sweep_block(s))
+            .collect();
+        apply_blocks(&blocks, c, trans);
+    }
+
+    /// Like [`Self::apply_q_left_blocked`] but first merges groups of
+    /// `group` adjacent sweeps into wider factors (extra flops, wider
+    /// GEMMs — the Figure-13 trade applied to the BC factor).
+    pub fn apply_q_blocked_merged(&self, c: &mut Mat, trans: bool, group: usize) {
+        assert!(group >= 1);
+        let sweeps: Vec<(usize, WyPair)> = self
+            .reflectors
+            .iter()
+            .filter_map(|s| sweep_block(s))
+            .collect();
+        let mut blocks: Vec<(usize, WyPair)> = Vec::new();
+        for chunk in sweeps.chunks(group) {
+            let off0 = chunk.iter().map(|(o, _)| *o).min().unwrap();
+            let end = chunk
+                .iter()
+                .map(|(o, f)| o + f.w.nrows())
+                .max()
+                .unwrap();
+            let mut merged: Option<WyPair> = None;
+            for (o, f) in chunk {
+                let padded = pad(f, o - off0, end - off0);
+                merged = Some(match merged {
+                    None => padded,
+                    Some(m) => merge_pair(&m, &padded),
+                });
+            }
+            blocks.push((off0, merged.unwrap()));
+        }
+        apply_blocks(&blocks, c, trans);
+    }
+}
+
+fn pad(f: &WyPair, top: usize, rows: usize) -> WyPair {
+    let k = f.width();
+    let m = f.w.nrows();
+    let mut w = Mat::zeros(rows, k);
+    w.view_mut(top, 0, m, k).copy_from(&f.w.as_ref());
+    let mut y = Mat::zeros(rows, k);
+    y.view_mut(top, 0, m, k).copy_from(&f.y.as_ref());
+    WyPair { w, y }
+}
+
+/// Applies ordered factors (`Q₂ = F₁F₂⋯`, ascending sweep order).
+fn apply_blocks(blocks: &[(usize, WyPair)], c: &mut Mat, trans: bool) {
+    let ncols = c.ncols();
+    let apply_one = |off: usize, f: &WyPair, c: &mut Mat, trans: bool| {
+        let rows = f.w.nrows();
+        let mut sub = c.view_mut(off, 0, rows, ncols);
+        if trans {
+            // (I − W Yᵀ)ᵀ = I − Y Wᵀ
+            let x = gemm_into(1.0, &f.w.as_ref(), Op::Trans, &sub.rb(), Op::NoTrans);
+            gemm(
+                -1.0,
+                &f.y.as_ref(),
+                Op::NoTrans,
+                &x.as_ref(),
+                Op::NoTrans,
+                1.0,
+                &mut sub,
+            );
+        } else {
+            f.apply_left(&mut sub);
+        }
+    };
+    if trans {
+        for (off, f) in blocks {
+            apply_one(*off, f, c, true);
+        }
+    } else {
+        for (off, f) in blocks.iter().rev() {
+            apply_one(*off, f, c, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bc::bulge_chase_seq;
+    use tg_matrix::{gen, max_abs_diff, SymBand};
+
+    fn setup(n: usize, b: usize, seed: u64) -> (SymBand, crate::bc::BcResult) {
+        let dense = gen::random_symmetric_band(n, b, seed);
+        let band = SymBand::from_dense_lower(&dense, b);
+        let res = bulge_chase_seq(&band);
+        (band, res)
+    }
+
+    #[test]
+    fn sweep_block_reproduces_reflector_product() {
+        let (_, res) = setup(20, 3, 1);
+        let n = 20;
+        let c0 = gen::random(n, 4, 2);
+        let mut unblocked = c0.clone();
+        res.apply_q_left(&mut unblocked, false);
+        let mut blocked = c0.clone();
+        res.apply_q_left_blocked(&mut blocked, false);
+        assert!(
+            max_abs_diff(&unblocked, &blocked) < 1e-12,
+            "{}",
+            max_abs_diff(&unblocked, &blocked)
+        );
+    }
+
+    #[test]
+    fn blocked_trans_inverts() {
+        let (_, res) = setup(18, 2, 3);
+        let c0 = gen::random(18, 5, 4);
+        let mut c = c0.clone();
+        res.apply_q_left_blocked(&mut c, false);
+        res.apply_q_left_blocked(&mut c, true);
+        assert!(max_abs_diff(&c, &c0) < 1e-12);
+    }
+
+    #[test]
+    fn merged_groups_match_for_all_group_sizes() {
+        let (_, res) = setup(24, 3, 5);
+        let c0 = gen::random(24, 6, 6);
+        let mut reference = c0.clone();
+        res.apply_q_left(&mut reference, false);
+        for group in [1usize, 2, 3, 5, 100] {
+            let mut c = c0.clone();
+            res.apply_q_blocked_merged(&mut c, false, group);
+            assert!(
+                max_abs_diff(&reference, &c) < 1e-11,
+                "group = {group}: {}",
+                max_abs_diff(&reference, &c)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_q_is_orthogonal() {
+        let (_, res) = setup(22, 4, 7);
+        let mut q = tg_matrix::Mat::identity(22);
+        res.apply_q_left_blocked(&mut q, false);
+        assert!(tg_matrix::orthogonality_residual(&q) < 1e-12);
+    }
+
+    #[test]
+    fn trivial_no_reflectors() {
+        // tridiagonal input ⇒ no reflectors ⇒ identity application
+        let t = gen::random_tridiagonal(8, 8);
+        let band = SymBand::from_dense_lower(&t.to_dense(), 1);
+        let res = bulge_chase_seq(&band);
+        let c0 = gen::random(8, 3, 9);
+        let mut c = c0.clone();
+        res.apply_q_left_blocked(&mut c, false);
+        assert_eq!(c, c0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Grouped pipelined bulge chasing — the CPU analogue of §5.2's
+//! warp-per-sweep grouping.
+//!
+//! The plain pipeline assigns one sweep per worker pass; each worker
+//! therefore streams over the whole band once per sweep. Grouping `g`
+//! adjacent sweeps into one pass interleaves their tasks in wavefront
+//! order, so the band region around the active columns is touched `g`
+//! times while hot — exactly the L1/shared-memory reuse the paper gets by
+//! replacing one-threadblock-per-sweep with one-*warp*-per-sweep plus
+//! grouping (§5.2: "we can group several sweeps together and make one warp
+//! instead of one threadblock to process one sweep").
+//!
+//! The inter-group synchronisation is the same Algorithm-2 progress
+//! protocol; *within* a group the wavefront order respects the dependency
+//! distance by construction. Results remain bitwise identical to the
+//! sequential reference.
+
+use super::kernels::{run_sweep_task, SharedBand, SweepCursor};
+use super::seq::{band_scale, widen_storage};
+use super::{BcReflector, BcResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tg_matrix::SymBand;
+
+const DONE: usize = usize::MAX / 2;
+
+/// Reduces a symmetric band matrix to tridiagonal form with
+/// `workers × group` logical parallel sweeps: each worker owns groups of
+/// `group` adjacent sweeps and advances them in wavefront order.
+pub fn bulge_chase_grouped(band: &SymBand, workers: usize, group: usize) -> BcResult {
+    let n = band.n();
+    let b = band.kd().max(1);
+    assert!(workers >= 1 && group >= 1);
+    let mut work = widen_storage(band, b);
+    let n_sweeps = if b > 1 && n > 2 { n - 2 } else { 0 };
+    let mut reflectors: Vec<Vec<BcReflector>> = (0..n_sweeps).map(|_| Vec::new()).collect();
+
+    if n_sweeps > 0 {
+        let shared = SharedBand::new(&mut work);
+        let progress: Vec<AtomicUsize> = (0..n_sweeps).map(AtomicUsize::new).collect();
+        let n_groups = n_sweeps.div_ceil(group);
+        let workers = workers.min(n_groups);
+
+        let mut results: Vec<(usize, Vec<BcReflector>)> = Vec::with_capacity(n_sweeps);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let progress = &progress;
+                let shared = &shared;
+                handles.push(scope.spawn(move |_| {
+                    let mut mine: Vec<(usize, Vec<BcReflector>)> = Vec::new();
+                    let mut gidx = w;
+                    while gidx < n_groups {
+                        let s0 = gidx * group;
+                        let s1 = (s0 + group).min(n_sweeps);
+                        // cursors for the group's sweeps
+                        let mut cursors: Vec<SweepCursor> =
+                            (s0..s1).map(|s| SweepCursor::new(shared.n, b, s)).collect();
+                        let mut outs: Vec<Vec<BcReflector>> =
+                            (s0..s1).map(|_| Vec::new()).collect();
+                        let mut live = cursors.iter().filter(|c| !c.done()).count();
+                        // wavefront with NON-BLOCKING gates: a sweep whose
+                        // Algorithm-2 gate is not yet open simply skips the
+                        // round. Blocking here would deadlock — the
+                        // predecessor it waits for may be serviced by this
+                        // very thread later in the same pass.
+                        while live > 0 {
+                            let mut advanced = false;
+                            for (off, cur) in cursors.iter_mut().enumerate() {
+                                if cur.done() {
+                                    continue;
+                                }
+                                let s = s0 + off;
+                                let col = cur.next_col();
+                                if s > 0 && progress[s - 1].load(Ordering::Acquire) <= col + 2 * b
+                                {
+                                    continue; // gate closed: retry next round
+                                }
+                                progress[s].store(col, Ordering::Release);
+                                // SAFETY: the open gate gives this task
+                                // exclusive access to its 2b index window.
+                                if let Some(r) = unsafe { run_sweep_task(shared, cur) } {
+                                    outs[off].push(r);
+                                }
+                                advanced = true;
+                                if cur.done() {
+                                    progress[s].store(DONE, Ordering::Release);
+                                    live -= 1;
+                                }
+                            }
+                            if !advanced {
+                                // blocked on another worker's group: yield
+                                std::hint::spin_loop();
+                                std::thread::yield_now();
+                            }
+                        }
+                        for (off, o) in outs.into_iter().enumerate() {
+                            mine.push((s0 + off, o));
+                        }
+                        gidx += workers;
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("grouped BC worker panicked"));
+            }
+        })
+        .expect("grouped BC scope failed");
+
+        for (s, swept) in results {
+            reflectors[s] = swept;
+        }
+    }
+
+    BcResult {
+        tri: work.to_tridiagonal(1e-10 * band_scale(band)),
+        reflectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc::bulge_chase_seq;
+    use tg_matrix::gen;
+
+    fn band_of(n: usize, b: usize, seed: u64) -> SymBand {
+        SymBand::from_dense_lower(&gen::random_symmetric_band(n, b, seed), b)
+    }
+
+    #[test]
+    fn grouped_matches_sequential_bitwise() {
+        for (n, b, seed) in [(24usize, 3usize, 1u64), (33, 4, 2), (17, 2, 3)] {
+            let band = band_of(n, b, seed);
+            let reference = bulge_chase_seq(&band);
+            for workers in [1usize, 2, 4] {
+                for group in [1usize, 2, 3, 7] {
+                    let r = bulge_chase_grouped(&band, workers, group);
+                    assert_eq!(
+                        r.tri.d, reference.tri.d,
+                        "d differs (n={n},b={b},W={workers},g={group})"
+                    );
+                    assert_eq!(r.tri.e, reference.tri.e);
+                    assert_eq!(r.reflector_count(), reference.reflector_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_similarity_contract() {
+        let n = 28;
+        let b = 3;
+        let dense = gen::random_symmetric_band(n, b, 9);
+        let band = SymBand::from_dense_lower(&dense, b);
+        let r = bulge_chase_grouped(&band, 3, 4);
+        let q = r.form_q(n);
+        assert!(tg_matrix::orthogonality_residual(&q) < 1e-12);
+        assert!(tg_matrix::similarity_residual(&dense, &q, &r.tri.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_group_sizes() {
+        let band = band_of(10, 2, 20);
+        let reference = bulge_chase_seq(&band);
+        for (w, g) in [(1usize, 100usize), (100, 1), (8, 8)] {
+            let r = bulge_chase_grouped(&band, w, g);
+            assert_eq!(r.tri.d, reference.tri.d, "W={w} g={g}");
+        }
+    }
+}

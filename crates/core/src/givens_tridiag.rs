@@ -1,0 +1,128 @@
+//! Givens-rotation tridiagonalization — the third classical reduction
+//! (after Householder and two-stage), kept as an independent correctness
+//! baseline. LAPACK's band reduction `dsbtrd` is built from exactly these
+//! rotations; here we run them on the dense symmetric matrix.
+//!
+//! For each column `j`, the sub-band entries `A[i][j]` (`i > j + 1`) are
+//! annihilated bottom-up with rotations in planes `(i − 1, i)`, applied
+//! two-sidedly. `O(n³)` like Householder but rotation-based — useful
+//! because its arithmetic shares nothing with the reflector-based paths.
+
+use tg_householder::givens::make_givens;
+use tg_matrix::{Mat, Tridiagonal};
+
+/// Result of [`givens_tridiagonalize`].
+pub struct GivensTridiag {
+    /// The tridiagonal matrix `T` with `A = Q T Qᵀ`.
+    pub tri: Tridiagonal,
+    /// The accumulated orthogonal factor.
+    pub q: Mat,
+}
+
+/// Tridiagonalizes dense symmetric `A` by two-sided Givens rotations.
+pub fn givens_tridiagonalize(a: &Mat) -> GivensTridiag {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    let mut m = a.clone();
+    m.mirror_lower(); // work on the full symmetric matrix for simplicity
+    let mut q = Mat::identity(n);
+
+    for j in 0..n.saturating_sub(2) {
+        for i in (j + 2..n).rev() {
+            let b = m[(i, j)];
+            if b == 0.0 {
+                continue;
+            }
+            let g = make_givens(m[(i - 1, j)], b);
+            // two-sided application in the (i−1, i) plane:
+            // rows i−1 and i …
+            for c in 0..n {
+                let (x, y) = g.apply(m[(i - 1, c)], m[(i, c)]);
+                m[(i - 1, c)] = x;
+                m[(i, c)] = y;
+            }
+            // … then columns i−1 and i
+            for r in 0..n {
+                let (x, y) = g.apply(m[(r, i - 1)], m[(r, i)]);
+                m[(r, i - 1)] = x;
+                m[(r, i)] = y;
+            }
+            m[(i, j)] = 0.0;
+            m[(j, i)] = 0.0;
+            // accumulate Q ← Q · G (columns i−1, i)
+            for r in 0..n {
+                let (x, y) = g.apply(q[(r, i - 1)], q[(r, i)]);
+                q[(r, i - 1)] = x;
+                q[(r, i)] = y;
+            }
+        }
+    }
+
+    let d = (0..n).map(|i| m[(i, i)]).collect();
+    let e = (0..n.saturating_sub(1)).map(|i| m[(i + 1, i)]).collect();
+    GivensTridiag {
+        tri: Tridiagonal::new(d, e),
+        q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::{gen, orthogonality_residual, similarity_residual};
+
+    #[test]
+    fn contract_holds() {
+        for (n, seed) in [(8usize, 1u64), (17, 2), (30, 3)] {
+            let a = gen::random_symmetric(n, seed);
+            let r = givens_tridiagonalize(&a);
+            assert!(orthogonality_residual(&r.q) < 1e-12, "n={n}");
+            assert!(
+                similarity_residual(&a, &r.q, &r.tri.to_dense()) < 1e-12,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_householder_spectrum() {
+        let n = 26;
+        let a = gen::random_symmetric(n, 9);
+        let giv = givens_tridiagonalize(&a);
+        let mut w = a.clone();
+        let hh = crate::sytrd::sytrd_unblocked(&mut w);
+        for &x in &[-3.0, -1.0, 0.0, 0.8, 2.1] {
+            assert_eq!(
+                giv.tri.sturm_count(x),
+                hh.tri.sturm_count(x),
+                "Sturm count differs at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_input_fewer_rotations_same_result() {
+        let n = 20;
+        let b = 3;
+        let dense = gen::random_symmetric_band(n, b, 7);
+        let giv = givens_tridiagonalize(&dense);
+        // cross-check against bulge chasing
+        let band = tg_matrix::SymBand::from_dense_lower(&dense, b);
+        let bc = crate::bc::bulge_chase_seq(&band);
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            assert_eq!(giv.tri.sturm_count(x), bc.tri.sturm_count(x));
+        }
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        for n in [1usize, 2, 3] {
+            let a = gen::random_symmetric(n, 20 + n as u64);
+            let r = givens_tridiagonalize(&a);
+            assert_eq!(r.tri.n(), n);
+            if n >= 2 {
+                assert!(similarity_residual(&a, &r.q, &r.tri.to_dense()) < 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Successive band reduction (SBR) — stage 1 of two-stage
+//! tridiagonalization; the MAGMA `Dsy2sb` baseline (Figure 2).
+//!
+//! Each step QR-factorizes the panel `A[j+b .. n, j .. j+b]`, yielding
+//! `Q = I − W Yᵀ`; the symmetric trailing matrix is then updated with the
+//! ZY-representation rank-`2b` `syr2k` of Equation 1. The result is a
+//! symmetric band matrix of bandwidth `b`, plus the `(W, Y)` factors needed
+//! for the back transformation.
+
+use tg_blas::syr2k_blocked;
+use tg_householder::panel::panel_qr;
+use tg_householder::wblock::WyPair;
+use tg_householder::zy::compute_z;
+use tg_matrix::{Mat, SymBand};
+
+/// Output of [`band_reduce`] (and of [`crate::dbbr::dbbr`]).
+pub struct BandReduction {
+    /// The band matrix `B` with `A = Q B Qᵀ`, bandwidth `b`.
+    pub band: SymBand,
+    /// Orthogonal factors in application order: `Q = ∏ᵢ (I − WᵢYᵢᵀ)` where
+    /// factor `i` acts on global rows `offsets[i] ..`.
+    pub factors: Vec<(usize, WyPair)>,
+    /// Bandwidth.
+    pub b: usize,
+}
+
+impl BandReduction {
+    /// Materializes `Q` (test/debug helper; `O(n³)`).
+    pub fn form_q(&self, n: usize) -> Mat {
+        let mut q = Mat::identity(n);
+        // Q = F₁ F₂ ⋯ F_p : accumulate right-to-left so each factor is
+        // applied to the identity-extended tail block only.
+        for (off, f) in self.factors.iter().rev() {
+            let m = f.w.nrows();
+            let mut sub = q.view_mut(*off, 0, m, n);
+            f.apply_left(&mut sub);
+        }
+        q
+    }
+}
+
+/// Single-blocking successive band reduction: reduces symmetric `A` (lower
+/// triangle referenced) to bandwidth `b`. `nb_syr2k` is the internal
+/// blocking of the trailing `syr2k`.
+///
+/// ```
+/// use tridiag_core::band_reduce;
+/// use tg_matrix::gen;
+///
+/// let mut a = gen::random_symmetric(20, 7);
+/// let red = band_reduce(&mut a, 3, 8);
+/// assert!(red.band.is_band_within(3, 1e-12));
+/// assert_eq!(red.band.kd(), 3);
+/// ```
+pub fn band_reduce(a: &mut Mat, b: usize, nb_syr2k: usize) -> BandReduction {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    assert!(b >= 1);
+    let mut factors: Vec<(usize, WyPair)> = Vec::new();
+
+    let mut j = 0;
+    while j + b + 1 < n {
+        let m = n - j - b;
+        let bc = b.min(n - j); // panel width (always b here since j+b+1 < n)
+        // QR factorize the panel A[j+b .. n, j .. j+bc]
+        let pq = {
+            let mut panel = a.view_mut(j + b, j, m, bc);
+            panel_qr(&mut panel)
+        };
+        // zero out the annihilated part explicitly (keep R's triangle)
+        for c in 0..bc {
+            for r in (c + 1)..m {
+                a[(j + b + r, j + c)] = 0.0;
+            }
+        }
+        let y = pq.block.v.clone(); // m × kr
+        let w = pq.block.w(); // m × kr
+        // two-sided trailing update: A₂ ← A₂ − Z Yᵀ − Y Zᵀ (Equation 1)
+        {
+            let trail = a.view(j + b, j + b, m, m);
+            let z = compute_z(&trail, &w.as_ref(), &y.as_ref());
+            let mut trail_mut = a.view_mut(j + b, j + b, m, m);
+            syr2k_blocked(-1.0, &z.as_ref(), &y.as_ref(), 1.0, &mut trail_mut, nb_syr2k);
+        }
+        factors.push((j + b, WyPair { w, y }));
+        j += b;
+    }
+
+    BandReduction {
+        band: SymBand::from_dense_lower(a, b),
+        factors,
+        b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::{gen, orthogonality_residual, similarity_residual};
+
+    pub(crate) fn check_band_reduction(
+        a0: &Mat,
+        red: &BandReduction,
+        b: usize,
+        tol: f64,
+    ) {
+        let n = a0.nrows();
+        // band structure: entries beyond bandwidth b are exactly zero
+        assert!(red.band.is_band_within(b, 1e-13), "not band-{b}");
+        // orthogonality + similarity
+        let q = red.form_q(n);
+        assert!(
+            orthogonality_residual(&q) < tol,
+            "Q not orthogonal: {}",
+            orthogonality_residual(&q)
+        );
+        let bd = red.band.to_dense();
+        let r = similarity_residual(a0, &q, &bd);
+        assert!(r < tol, "A ≠ Q B Qᵀ: residual {r}");
+    }
+
+    #[test]
+    fn reduces_to_band_various() {
+        for (n, b, seed) in [(12usize, 2usize, 1u64), (20, 4, 2), (21, 4, 3), (16, 8, 4), (30, 3, 5)] {
+            let a0 = gen::random_symmetric(n, seed);
+            let mut a = a0.clone();
+            let red = band_reduce(&mut a, b, 8);
+            check_band_reduction(&a0, &red, b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn band_1_is_full_tridiagonalization() {
+        let n = 14;
+        let a0 = gen::random_symmetric(n, 10);
+        let mut a = a0.clone();
+        let red = band_reduce(&mut a, 1, 8);
+        check_band_reduction(&a0, &red, 1, 1e-12);
+        let t = red.band.to_tridiagonal(1e-13);
+        // eigen-invariant: trace
+        let tr0: f64 = (0..n).map(|i| a0[(i, i)]).sum();
+        assert!((t.trace() - tr0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_band_no_op() {
+        // b ≥ n−1: nothing to eliminate, no factors
+        let n = 8;
+        let a0 = gen::random_symmetric(n, 20);
+        let mut a = a0.clone();
+        let red = band_reduce(&mut a, n - 1, 8);
+        assert!(red.factors.is_empty());
+        assert_eq!(red.band.to_dense(), {
+            let mut s = a0.clone();
+            s.mirror_lower();
+            s
+        });
+    }
+
+    #[test]
+    fn band_input_stays_similar() {
+        // input already banded wider than target: still reduces correctly
+        let n = 18;
+        let a0 = gen::random_symmetric_band(n, 6, 30);
+        let mut a = a0.clone();
+        let red = band_reduce(&mut a, 2, 4);
+        check_band_reduction(&a0, &red, 2, 1e-12);
+    }
+
+    #[test]
+    fn factor_count_and_shapes() {
+        let n = 24;
+        let b = 4;
+        let a0 = gen::random_symmetric(n, 40);
+        let mut a = a0.clone();
+        let red = band_reduce(&mut a, b, 8);
+        // panels at j = 0, 4, 8, 12, 16 (j + b + 1 < 24 ⇒ j < 19)
+        assert_eq!(red.factors.len(), 5);
+        for (i, (off, f)) in red.factors.iter().enumerate() {
+            assert_eq!(*off, (i + 1) * b);
+            assert_eq!(f.w.nrows(), n - off);
+        }
+    }
+}

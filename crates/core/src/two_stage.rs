@@ -1,0 +1,315 @@
+//! End-to-end tridiagonalization drivers.
+//!
+//! Three pipelines, mirroring the paper's comparison:
+//!
+//! * [`Method::Direct`] — blocked one-stage reduction (cuSOLVER `Dsytrd`),
+//! * [`Method::Sbr`] — MAGMA-style two-stage: single-blocking band
+//!   reduction + bulge chasing,
+//! * [`Method::Dbbr`] — the paper's method: double-blocking band reduction
+//!   + pipelined bulge chasing.
+
+use crate::backtransform::{apply_q1, apply_q1_blocked};
+use crate::bc::{bulge_chase_grouped, bulge_chase_pipelined, bulge_chase_seq, BcResult};
+use crate::dbbr::{dbbr, DbbrConfig};
+use crate::sbr::band_reduce;
+use crate::sytrd::{sytrd_blocked, SytrdResult};
+use tg_householder::wblock::WyPair;
+use tg_matrix::{Mat, Tridiagonal};
+
+/// Tridiagonalization algorithm selector.
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// Direct blocked reduction with panel width `nb`.
+    Direct { nb: usize },
+    /// Two-stage with single-blocking SBR (bandwidth `b`) and bulge chasing
+    /// with `parallel_sweeps` concurrent sweeps (1 = sequential).
+    Sbr { b: usize, parallel_sweeps: usize },
+    /// Two-stage with double-blocking band reduction and pipelined bulge
+    /// chasing — the paper's proposed pipeline.
+    Dbbr {
+        cfg: DbbrConfig,
+        parallel_sweeps: usize,
+    },
+    /// Like [`Method::Dbbr`] but with the §5.2 sweep-grouped bulge-chasing
+    /// schedule (`workers × group` logical parallel sweeps).
+    DbbrGrouped {
+        cfg: DbbrConfig,
+        workers: usize,
+        group: usize,
+    },
+}
+
+impl Method {
+    /// The paper's recommended configuration (`b = 32`, `k = 1024` scaled
+    /// down proportionally for small matrices).
+    pub fn paper_default(n: usize) -> Method {
+        let b = 32.min((n / 8).max(2));
+        let k = (b * 8).min(1024);
+        Method::Dbbr {
+            cfg: DbbrConfig::new(b, k),
+            parallel_sweeps: 4,
+        }
+    }
+}
+
+/// How the orthogonal factor is represented, per pipeline.
+enum QFactors {
+    Direct(SytrdResult),
+    TwoStage {
+        factors: Vec<(usize, WyPair)>,
+        bc: BcResult,
+    },
+}
+
+/// Result of [`tridiagonalize`]: `A = Q T Qᵀ`.
+pub struct TridiagResult {
+    /// The tridiagonal matrix.
+    pub tri: Tridiagonal,
+    /// Matrix order.
+    pub n: usize,
+    q: QFactors,
+}
+
+impl TridiagResult {
+    /// `C ← Q C`: maps eigenvectors of `T` to eigenvectors of `A`.
+    ///
+    /// For the two-stage pipelines `Q = Q₁ Q₂`, so this applies the bulge-
+    /// chasing factor first and then the band-reduction factor.
+    pub fn apply_q(&self, c: &mut Mat) {
+        match &self.q {
+            QFactors::Direct(res) => {
+                let q = res.form_q();
+                let prod = tg_blas::gemm_into(
+                    1.0,
+                    &q.as_ref(),
+                    tg_blas::Op::NoTrans,
+                    &c.as_ref(),
+                    tg_blas::Op::NoTrans,
+                );
+                c.copy_from(&prod.as_ref());
+            }
+            QFactors::TwoStage { factors, bc } => {
+                bc.apply_q_left(c, false);
+                apply_q1(factors, c, false);
+            }
+        }
+    }
+
+    /// Like [`Self::apply_q`] but uses the blocked back transformations:
+    /// one block reflector per BC sweep (the §8 future-work optimization,
+    /// see [`crate::bc::backward`]) and the Figure-13 blocked `W` for the
+    /// band-reduction factor (two-stage only).
+    pub fn apply_q_blocked(&self, c: &mut Mat, target_k: usize) {
+        match &self.q {
+            QFactors::Direct(_) => self.apply_q(c),
+            QFactors::TwoStage { factors, bc } => {
+                bc.apply_q_left_blocked(c, false);
+                apply_q1_blocked(factors, c, target_k);
+            }
+        }
+    }
+
+    /// Materializes `Q` (test helper, `O(n³)`).
+    pub fn form_q(&self) -> Mat {
+        let mut q = Mat::identity(self.n);
+        self.apply_q(&mut q);
+        q
+    }
+}
+
+/// Reduces symmetric `A` (lower triangle referenced; destroyed) to
+/// tridiagonal form with the selected method.
+///
+/// ```
+/// use tridiag_core::{tridiagonalize, DbbrConfig, Method};
+/// use tg_matrix::{gen, orthogonality_residual, similarity_residual};
+///
+/// let a = gen::random_symmetric(32, 1);
+/// let method = Method::Dbbr { cfg: DbbrConfig::new(4, 8), parallel_sweeps: 2 };
+/// let red = tridiagonalize(&mut a.clone(), &method);
+/// let q = red.form_q();
+/// assert!(orthogonality_residual(&q) < 1e-11);
+/// assert!(similarity_residual(&a, &q, &red.tri.to_dense()) < 1e-11);
+/// ```
+pub fn tridiagonalize(a: &mut Mat, method: &Method) -> TridiagResult {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    match method {
+        Method::Direct { nb } => {
+            let res = sytrd_blocked(a, *nb);
+            TridiagResult {
+                tri: res.tri.clone(),
+                n,
+                q: QFactors::Direct(res),
+            }
+        }
+        Method::Sbr { b, parallel_sweeps } => {
+            let red = band_reduce(a, *b, 32);
+            let bc = if *parallel_sweeps <= 1 {
+                bulge_chase_seq(&red.band)
+            } else {
+                bulge_chase_pipelined(&red.band, *parallel_sweeps)
+            };
+            TridiagResult {
+                tri: bc.tri.clone(),
+                n,
+                q: QFactors::TwoStage {
+                    factors: red.factors,
+                    bc,
+                },
+            }
+        }
+        Method::Dbbr {
+            cfg,
+            parallel_sweeps,
+        } => {
+            let red = dbbr(a, cfg);
+            let bc = bulge_chase_pipelined(&red.band, (*parallel_sweeps).max(1));
+            TridiagResult {
+                tri: bc.tri.clone(),
+                n,
+                q: QFactors::TwoStage {
+                    factors: red.factors,
+                    bc,
+                },
+            }
+        }
+        Method::DbbrGrouped {
+            cfg,
+            workers,
+            group,
+        } => {
+            let red = dbbr(a, cfg);
+            let bc = bulge_chase_grouped(&red.band, (*workers).max(1), (*group).max(1));
+            TridiagResult {
+                tri: bc.tri.clone(),
+                n,
+                q: QFactors::TwoStage {
+                    factors: red.factors,
+                    bc,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::{gen, orthogonality_residual, similarity_residual};
+
+    fn check_method(n: usize, method: Method, seed: u64) {
+        let a0 = gen::random_symmetric(n, seed);
+        let mut a = a0.clone();
+        let res = tridiagonalize(&mut a, &method);
+        let q = res.form_q();
+        assert!(
+            orthogonality_residual(&q) < 1e-11,
+            "{method:?}: Q not orthogonal"
+        );
+        let t = res.tri.to_dense();
+        let r = similarity_residual(&a0, &q, &t);
+        assert!(r < 1e-11, "{method:?}: A ≠ Q T Qᵀ ({r})");
+    }
+
+    #[test]
+    fn direct_pipeline() {
+        check_method(24, Method::Direct { nb: 6 }, 1);
+    }
+
+    #[test]
+    fn sbr_pipeline_seq_and_parallel() {
+        check_method(24, Method::Sbr { b: 3, parallel_sweeps: 1 }, 2);
+        check_method(24, Method::Sbr { b: 3, parallel_sweeps: 4 }, 3);
+    }
+
+    #[test]
+    fn dbbr_pipeline() {
+        check_method(
+            26,
+            Method::Dbbr {
+                cfg: DbbrConfig::new(2, 8),
+                parallel_sweeps: 3,
+            },
+            4,
+        );
+    }
+
+    #[test]
+    fn all_methods_same_spectrum() {
+        let n = 22;
+        let a0 = gen::random_symmetric(n, 10);
+        let methods = [
+            Method::Direct { nb: 4 },
+            Method::Sbr { b: 4, parallel_sweeps: 2 },
+            Method::Dbbr {
+                cfg: DbbrConfig::new(2, 4),
+                parallel_sweeps: 2,
+            },
+        ];
+        let tris: Vec<Tridiagonal> = methods
+            .iter()
+            .map(|m| {
+                let mut a = a0.clone();
+                tridiagonalize(&mut a, m).tri
+            })
+            .collect();
+        // all T's are orthogonally similar ⇒ identical Sturm counts
+        for &x in &[-3.0, -1.0, 0.0, 0.5, 1.5, 3.0] {
+            let c0 = tris[0].sturm_count(x);
+            assert_eq!(tris[1].sturm_count(x), c0, "SBR count differs at {x}");
+            assert_eq!(tris[2].sturm_count(x), c0, "DBBR count differs at {x}");
+        }
+    }
+
+    #[test]
+    fn blocked_backtransform_agrees() {
+        let n = 20;
+        let a0 = gen::random_symmetric(n, 20);
+        let mut a = a0.clone();
+        let res = tridiagonalize(
+            &mut a,
+            &Method::Dbbr {
+                cfg: DbbrConfig::new(2, 4),
+                parallel_sweeps: 2,
+            },
+        );
+        let c0 = gen::random(n, 4, 21);
+        let mut c1 = c0.clone();
+        res.apply_q(&mut c1);
+        let mut c2 = c0.clone();
+        res.apply_q_blocked(&mut c2, 8);
+        assert!(tg_matrix::max_abs_diff(&c1, &c2) < 1e-11);
+    }
+
+    #[test]
+    fn grouped_method_matches_plain_dbbr() {
+        let n = 30;
+        let a0 = gen::random_symmetric(n, 40);
+        let cfg = DbbrConfig::new(3, 6);
+        let t1 = tridiagonalize(
+            &mut a0.clone(),
+            &Method::Dbbr {
+                cfg: cfg.clone(),
+                parallel_sweeps: 2,
+            },
+        )
+        .tri;
+        let t2 = tridiagonalize(
+            &mut a0.clone(),
+            &Method::DbbrGrouped {
+                cfg,
+                workers: 2,
+                group: 3,
+            },
+        )
+        .tri;
+        assert_eq!(t1.d, t2.d);
+        assert_eq!(t1.e, t2.e);
+    }
+
+    #[test]
+    fn paper_default_runs() {
+        check_method(40, Method::paper_default(40), 30);
+    }
+}

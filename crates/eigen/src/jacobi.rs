@@ -1,0 +1,178 @@
+//! Cyclic Jacobi eigenvalue iteration for dense symmetric matrices —
+//! one of the classical methods the paper's §7.2 surveys.
+//!
+//! Jacobi needs no tridiagonalization at all, which makes it a fully
+//! independent cross-check for the reduction-based pipelines (at `O(n³)`
+//! per sweep and typically `O(log n)` sweeps it is not competitive, which
+//! is exactly why the two-stage reduction exists).
+
+use crate::EigenError;
+use tg_matrix::Mat;
+
+/// Maximum Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 30;
+
+/// Computes all eigenvalues (ascending) and eigenvectors of a dense
+/// symmetric matrix by the cyclic Jacobi method.
+pub fn jacobi_evd(a: &Mat) -> Result<(Vec<f64>, Mat), EigenError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+    if n <= 1 {
+        return Ok(((0..n).map(|i| m[(i, i)]).collect(), v));
+    }
+
+    let norm = tg_matrix::frob_norm(&m).max(f64::MIN_POSITIVE);
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for q in 1..n {
+            for p in 0..q {
+                off += 2.0 * m[(q, p)] * m[(q, p)];
+            }
+        }
+        if off.sqrt() <= 1e-15 * norm * n as f64 {
+            break;
+        }
+        if sweep == MAX_SWEEPS - 1 {
+            return Err(EigenError::NoConvergence { index: 0 });
+        }
+        for q in 1..n {
+            for p in 0..q {
+                let apq = m[(q, p)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // rotation annihilating (p, q): standard stable formulas
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                apply_rotation(&mut m, p, q, c, s);
+                // accumulate into V (columns p and q)
+                for r in 0..n {
+                    let vp = v[(r, p)];
+                    let vq = v[(r, q)];
+                    v[(r, p)] = c * vp - s * vq;
+                    v[(r, q)] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+
+    // sort ascending
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&x, &y| m[(x, x)].partial_cmp(&m[(y, y)]).unwrap());
+    let eigs: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
+    let mut vs = Mat::zeros(n, n);
+    for (k, &i) in idx.iter().enumerate() {
+        vs.col_mut(k).copy_from_slice(v.col(i));
+    }
+    Ok((eigs, vs))
+}
+
+/// Applies the two-sided rotation `J(p,q)ᵀ M J(p,q)` updating the full
+/// symmetric matrix (both triangles kept consistent).
+fn apply_rotation(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.nrows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(q, p)];
+    for r in 0..n {
+        if r == p || r == q {
+            continue;
+        }
+        let arp = m[(r, p)];
+        let arq = m[(r, q)];
+        let new_rp = c * arp - s * arq;
+        let new_rq = s * arp + c * arq;
+        m[(r, p)] = new_rp;
+        m[(p, r)] = new_rp;
+        m[(r, q)] = new_rq;
+        m[(q, r)] = new_rq;
+    }
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(q, p)] = 0.0;
+    m[(p, q)] = 0.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::{gen, orthogonality_residual};
+
+    #[test]
+    fn known_spectrum() {
+        let eigs = [1.0, 2.0, 5.0, -3.0, 0.5];
+        let a = gen::with_spectrum(&eigs, 1);
+        let (computed, v) = jacobi_evd(&a).unwrap();
+        let mut sorted = eigs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (x, y) in computed.iter().zip(&sorted) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(orthogonality_residual(&v) < 1e-13);
+    }
+
+    #[test]
+    fn agrees_with_two_stage_pipeline() {
+        let n = 24;
+        let a = gen::random_symmetric(n, 3);
+        let (jac, _) = jacobi_evd(&a).unwrap();
+        let evd = crate::syevd(
+            &mut a.clone(),
+            &crate::EvdMethod::Proposed {
+                b: 2,
+                k: 8,
+                parallel_sweeps: 2,
+                backtransform_k: 8,
+            },
+            false,
+        )
+        .unwrap();
+        for (x, y) in jac.iter().zip(&evd.eigenvalues) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eigenpair_residual() {
+        let n = 16;
+        let a = gen::random_symmetric(n, 7);
+        let (eigs, v) = jacobi_evd(&a).unwrap();
+        for k in 0..n {
+            let vk = v.col(k);
+            for i in 0..n {
+                let mut s = 0.0;
+                for j in 0..n {
+                    s += a[(i, j)] * vk[j];
+                }
+                assert!((s - eigs[k] * vk[i]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_fixed_point() {
+        let mut d = Mat::zeros(5, 5);
+        for i in 0..5 {
+            d[(i, i)] = (5 - i) as f64;
+        }
+        let (eigs, _) = jacobi_evd(&d).unwrap();
+        assert_eq!(eigs, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        let a0 = Mat::zeros(0, 0);
+        assert!(jacobi_evd(&a0).unwrap().0.is_empty());
+        let a1 = Mat::from_rows(1, 1, &[2.5]);
+        assert_eq!(jacobi_evd(&a1).unwrap().0, vec![2.5]);
+        let a2 = Mat::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let (e, _) = jacobi_evd(&a2).unwrap();
+        assert!((e[0] + 1.0).abs() < 1e-14 && (e[1] - 1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,58 @@
+//! # tg-eigen
+//!
+//! Symmetric eigensolvers built on the tridiagonalization pipelines:
+//!
+//! * [`steqr`] — implicit QL iteration for tridiagonal matrices, with or
+//!   without eigenvector accumulation (`dsteqr`/`dsterf` analogues),
+//! * [`dc`] — Cuppen's divide & conquer with deflation, a safeguarded
+//!   secular-equation solver ([`secular`]) and the Gu–Eisenstat eigenvector
+//!   fix (`dstedc` analogue) — the iterative method the paper pairs with
+//!   its tridiagonalization (§6.2),
+//! * [`syevd`] — full `Dsyevd`-style drivers for the three pipelines the
+//!   paper compares (cuSOLVER-like direct, MAGMA-like two-stage, and the
+//!   proposed DBBR + pipelined-BC two-stage),
+//! * [`bisect`] — Sturm-count bisection + inverse iteration
+//!   (`dstebz`/`dstein` analogues): the independent verification oracle,
+//!   with spectrum slicing by index or interval,
+//! * [`jacobi`] — cyclic Jacobi on the dense matrix (§7.2's third
+//!   classical method), fully independent of any reduction.
+
+pub mod bisect;
+pub mod dc;
+pub mod jacobi;
+pub mod pwk;
+pub mod sbevd;
+pub mod secular;
+pub mod steqr;
+pub mod syevd;
+pub mod syevx;
+pub mod sygv;
+
+pub use bisect::{bisect_evd, eigenvalues_by_index, eigenvalues_in_interval};
+pub use dc::stedc;
+pub use jacobi::jacobi_evd;
+pub use pwk::sterf_pwk;
+pub use sbevd::sbevd;
+pub use steqr::{steqr, sterf};
+pub use syevd::{syevd, Evd, EvdMethod};
+pub use syevx::{largest_k, smallest_k, syevx_by_index};
+pub use sygv::sygvd;
+
+/// Errors from the iterative eigensolvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigenError {
+    /// The QL/QR iteration failed to converge for some eigenvalue.
+    NoConvergence { index: usize },
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigenError::NoConvergence { index } => {
+                write!(f, "QL iteration failed to converge at eigenvalue {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}

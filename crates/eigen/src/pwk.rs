@@ -1,0 +1,155 @@
+//! Pal–Walker–Kahan square-root-free QL iteration — the algorithm behind
+//! LAPACK's `dsterf` (eigenvalues only, no vectors).
+//!
+//! Works on the **squares** of the off-diagonals, so the inner loop does
+//! one division instead of the `hypot`-based rotation that
+//! [`crate::steqr`] pays per element; this is the classical fast path for
+//! the "eigenvalues only" mode of Figure 16. Kept alongside the
+//! rotation-based QL as an independent implementation of the same
+//! operator — the test suite cross-checks them against each other.
+//!
+//! The recurrence is transcribed from `dsterf`'s QL branch (variables
+//! `c, s, p, γ` with `e2 = e²`).
+
+use crate::EigenError;
+use tg_matrix::Tridiagonal;
+
+const MAX_IT: usize = 60;
+
+/// All eigenvalues of a symmetric tridiagonal matrix, ascending,
+/// via the PWK square-root-free QL iteration.
+pub fn sterf_pwk(t: &Tridiagonal) -> Result<Vec<f64>, EigenError> {
+    let n = t.n();
+    if n <= 1 {
+        return Ok(t.d.clone());
+    }
+    let mut d = t.d.clone();
+    // e2[i] = e[i]², padded with a scratch slot
+    let mut e2: Vec<f64> = t.e.iter().map(|x| x * x).collect();
+    e2.push(0.0);
+    let eps2 = f64::EPSILON * f64::EPSILON;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // find a negligible squared off-diagonal at or beyond l
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e2[m] <= eps2 * dd * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_IT {
+                return Err(EigenError::NoConvergence { index: l });
+            }
+
+            // shift (dsterf's QL branch)
+            let rte = e2[l].sqrt();
+            let mut sigma = (d[l + 1] - d[l]) / (2.0 * rte);
+            let r = sigma.hypot(1.0);
+            sigma = d[l] - rte / (sigma + r.copysign(sigma));
+
+            // square-root-free inner loop (dsterf order: the rotation
+            // (c, s) is refreshed from (p, bb) *before* the γ recurrence)
+            let mut c = 1.0f64;
+            let mut s = 0.0f64;
+            let mut gamma = d[m] - sigma;
+            let mut p = gamma * gamma;
+            for i in (l..m).rev() {
+                let bb = e2[i];
+                let r = p + bb;
+                if i + 1 != m {
+                    e2[i + 1] = s * r;
+                }
+                let oldc = c;
+                c = p / r;
+                s = bb / r;
+                let oldgam = gamma;
+                let alpha = d[i];
+                gamma = c * (alpha - sigma) - s * oldgam;
+                d[i + 1] = oldgam + (alpha - gamma);
+                if c != 0.0 {
+                    p = gamma * gamma / c;
+                } else {
+                    p = oldc * bb;
+                }
+            }
+            e2[l] = s * p;
+            d[l] = sigma + gamma;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::gen;
+
+    #[test]
+    fn matches_rotation_ql() {
+        for seed in 0..8u64 {
+            let t = gen::random_tridiagonal(40, seed);
+            let a = sterf_pwk(&t).unwrap();
+            let b = crate::sterf(&t).unwrap();
+            let scale = b.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12 * scale * 40.0, "seed {seed}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_exact() {
+        let n = 50;
+        let t = gen::laplacian_1d(n);
+        let eigs = sterf_pwk(&t).unwrap();
+        let exact = gen::laplacian_1d_eigs(n);
+        assert!(tg_matrix::norms::spectrum_error(&exact, &eigs) < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(sterf_pwk(&Tridiagonal::new(vec![], vec![])).unwrap().is_empty());
+        assert_eq!(
+            sterf_pwk(&Tridiagonal::new(vec![2.0], vec![])).unwrap(),
+            vec![2.0]
+        );
+        let e = sterf_pwk(&Tridiagonal::new(vec![0.0, 0.0], vec![3.0])).unwrap();
+        assert!((e[0] + 3.0).abs() < 1e-13 && (e[1] - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn wilkinson_pairs() {
+        let t = gen::wilkinson(21);
+        let a = sterf_pwk(&t).unwrap();
+        let b = crate::sterf(&t).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_offdiagonals_passthrough() {
+        let t = Tridiagonal::new(vec![3.0, 1.0, 2.0, -1.0], vec![0.0, 0.0, 0.0]);
+        let e = sterf_pwk(&t).unwrap();
+        assert_eq!(e, vec![-1.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn glued_clusters() {
+        let t = gen::glued(12, 3, 1e-11);
+        let a = sterf_pwk(&t).unwrap();
+        let b = crate::sterf(&t).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Secular equation solver for the rank-one-update eigenproblem
+//! `D + ρ z zᵀ` at the heart of divide & conquer (`dlaed4` analogue).
+//!
+//! For `ρ > 0` and strictly increasing `d`, the eigenvalues `λ_k` satisfy
+//!
+//! ```text
+//! f(λ) = 1 + ρ Σᵢ zᵢ² / (dᵢ − λ) = 0,
+//! d_k < λ_k < d_{k+1}  (k < n−1),   d_{n−1} < λ_{n−1} ≤ d_{n−1} + ρ‖z‖².
+//! ```
+//!
+//! Each root is computed in **shifted coordinates** `μ = λ − d_K` relative
+//! to the closest pole, so that the differences `dᵢ − λ` used later for
+//! eigenvectors carry full relative accuracy — the property that lets the
+//! Gu–Eisenstat construction keep eigenvectors orthogonal without extended
+//! precision. The iteration is a Newton step safeguarded by bisection on a
+//! maintained bracket (monotone `f` ⇒ guaranteed convergence).
+
+/// One secular root in shifted representation: `λ = d[origin] + mu`.
+#[derive(Clone, Copy, Debug)]
+pub struct SecularRoot {
+    /// Index `K` of the pole the root is expressed against.
+    pub origin: usize,
+    /// Offset from the origin pole.
+    pub mu: f64,
+}
+
+impl SecularRoot {
+    /// The eigenvalue `λ = d[origin] + μ`.
+    #[inline]
+    pub fn value(&self, d: &[f64]) -> f64 {
+        d[self.origin] + self.mu
+    }
+
+    /// `dᵢ − λ`, computed to full relative accuracy via the shift.
+    #[inline]
+    pub fn d_minus_lambda(&self, d: &[f64], i: usize) -> f64 {
+        (d[i] - d[self.origin]) - self.mu
+    }
+}
+
+/// Solves all `n` secular roots of `D + ρ z zᵀ`.
+///
+/// Requirements: `ρ > 0`, `d` strictly increasing, all `zᵢ ≠ 0`
+/// (the caller deflates violations first).
+pub fn solve_all(d: &[f64], z: &[f64], rho: f64) -> Vec<SecularRoot> {
+    let n = d.len();
+    assert_eq!(z.len(), n);
+    assert!(rho > 0.0, "rho must be positive (caller normalizes)");
+    debug_assert!(d.windows(2).all(|w| w[0] < w[1]), "d must be increasing");
+    (0..n).map(|k| solve_root(d, z, rho, k)).collect()
+}
+
+/// Evaluates `g(μ) = 1 + ρ Σ zᵢ²/(δᵢ − μ)` and `g'(μ)` with `δᵢ = dᵢ − d_K`.
+fn eval_shifted(d: &[f64], z: &[f64], rho: f64, origin: usize, mu: f64) -> (f64, f64) {
+    let dk = d[origin];
+    let mut f = 1.0;
+    let mut fp = 0.0;
+    for i in 0..d.len() {
+        let delta = (d[i] - dk) - mu;
+        let t = z[i] / delta;
+        f += rho * z[i] * t;
+        fp += rho * t * t;
+    }
+    (f, fp)
+}
+
+/// Solves root `k` (the root in `(d_k, d_{k+1})`, or beyond `d_{n−1}` for
+/// `k = n−1`).
+pub fn solve_root(d: &[f64], z: &[f64], rho: f64, k: usize) -> SecularRoot {
+    let n = d.len();
+    let znorm2: f64 = z.iter().map(|x| x * x).sum();
+
+    // choose origin pole and initial bracket for μ
+    let (origin, mut lo, mut hi) = if k == n - 1 {
+        // last root: μ ∈ (0, ρ‖z‖²]
+        (n - 1, 0.0, rho * znorm2)
+    } else {
+        let gap = d[k + 1] - d[k];
+        // evaluate f at the midpoint to decide which pole is closer
+        let (fmid, _) = eval_shifted(d, z, rho, k, 0.5 * gap);
+        if fmid >= 0.0 {
+            // root in the left half: origin d_k, μ ∈ (0, gap/2]
+            (k, 0.0, 0.5 * gap)
+        } else {
+            // root in the right half: origin d_{k+1}, μ ∈ [−gap/2, 0)
+            (k + 1, -0.5 * gap, 0.0)
+        }
+    };
+
+    // Newton iteration safeguarded by the bracket; g is increasing in μ.
+    let mut mu = 0.5 * (lo + hi);
+    for _ in 0..120 {
+        let (g, gp) = eval_shifted(d, z, rho, origin, mu);
+        if g == 0.0 || !g.is_finite() {
+            break;
+        }
+        if g > 0.0 {
+            hi = mu;
+        } else {
+            lo = mu;
+        }
+        // Newton step
+        let step = -g / gp;
+        let mut next = mu + step;
+        if !(next > lo && next < hi && next.is_finite()) {
+            next = 0.5 * (lo + hi); // bisect
+        }
+        let width = hi - lo;
+        if width <= 4.0 * f64::EPSILON * mu.abs().max(lo.abs()).max(hi.abs()) || next == mu {
+            mu = next;
+            break;
+        }
+        mu = next;
+    }
+    SecularRoot { origin, mu }
+}
+
+/// Recomputes the rank-one vector from the computed roots so eigenvectors
+/// are numerically orthogonal (Gu–Eisenstat / `dlaed3` trick):
+///
+/// ```text
+/// z̃ᵢ² = (λ_{n−1} − dᵢ)/ρ · ∏_{k<i} (λ_k − dᵢ)/(d_k − dᵢ)
+///                        · ∏_{i≤k<n−1} (λ_k − dᵢ)/(d_{k+1} − dᵢ)
+/// ```
+///
+/// with every `λ_k − dᵢ` evaluated through the shifted representation.
+pub fn refine_z(d: &[f64], rho: f64, roots: &[SecularRoot], z_signs: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    let mut zt = vec![0.0; n];
+    for i in 0..n {
+        // λ_{n−1} − dᵢ
+        let mut prod = -roots[n - 1].d_minus_lambda(d, i) / rho;
+        for k in 0..i {
+            let num = -roots[k].d_minus_lambda(d, i);
+            let den = d[k] - d[i];
+            prod *= num / den;
+        }
+        for k in i..n - 1 {
+            let num = -roots[k].d_minus_lambda(d, i);
+            let den = d[k + 1] - d[i];
+            prod *= num / den;
+        }
+        debug_assert!(
+            prod >= -1e-10,
+            "interlacing violated: negative z̃² = {prod} at {i}"
+        );
+        zt[i] = prod.max(0.0).sqrt() * z_signs[i].signum();
+    }
+    zt
+}
+
+/// Builds the (normalized) eigenvector for `root`:
+/// `vᵢ = z̃ᵢ / (dᵢ − λ_k)`.
+pub fn eigenvector(d: &[f64], zt: &[f64], root: &SecularRoot) -> Vec<f64> {
+    let n = d.len();
+    let mut v = vec![0.0; n];
+    let mut nrm = 0.0;
+    for i in 0..n {
+        let denom = root.d_minus_lambda(d, i);
+        v[i] = zt[i] / denom;
+        nrm += v[i] * v[i];
+    }
+    let s = nrm.sqrt();
+    for vi in &mut v {
+        *vi /= s;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secular_f(d: &[f64], z: &[f64], rho: f64, lam: f64) -> f64 {
+        1.0 + rho
+            * d.iter()
+                .zip(z)
+                .map(|(&di, &zi)| zi * zi / (di - lam))
+                .sum::<f64>()
+    }
+
+    #[test]
+    fn roots_interlace_and_solve() {
+        let d = [0.0, 1.0, 2.5, 4.0];
+        let z = [0.5, 0.3, 0.8, 0.2];
+        let rho = 1.3;
+        let roots = solve_all(&d, &z, rho);
+        for (k, r) in roots.iter().enumerate() {
+            let lam = r.value(&d);
+            if k < 3 {
+                assert!(d[k] < lam && lam < d[k + 1], "interlacing at {k}: {lam}");
+            } else {
+                assert!(lam > d[3]);
+            }
+            assert!(
+                secular_f(&d, &z, rho, lam).abs() < 1e-8,
+                "f(λ_{k}) = {}",
+                secular_f(&d, &z, rho, lam)
+            );
+        }
+    }
+
+    #[test]
+    fn rank_one_2x2_exact() {
+        // D + ρzzᵀ = [[1.5, 0.5], [0.5, 3.5]] has a closed-form spectrum
+        let d = [1.0, 3.0];
+        let z = [1.0, 1.0];
+        let rho = 0.5;
+        let tr = 5.0f64;
+        let det = 1.5 * 3.5 - 0.25;
+        let disc = (tr * tr / 4.0 - det).sqrt();
+        let exact = [tr / 2.0 - disc, tr / 2.0 + disc];
+        let roots = solve_all(&d, &z, rho);
+        for k in 0..2 {
+            assert!((roots[k].value(&d) - exact[k]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn tiny_gaps_stay_bracketed() {
+        let d = [0.0, 1e-13, 2e-13, 1.0];
+        let z = [0.1, 0.1, 0.1, 0.1];
+        let rho = 2.0;
+        let roots = solve_all(&d, &z, rho);
+        for (k, r) in roots.iter().enumerate().take(3) {
+            let lam = r.value(&d);
+            assert!(lam >= d[k] && lam <= d[k + 1], "root {k} escaped its gap");
+        }
+    }
+
+    #[test]
+    fn refined_z_reproduces_input_on_clean_problem() {
+        // In exact arithmetic z̃ == z; check close agreement.
+        let d = [0.0, 0.7, 1.9, 3.1, 4.8];
+        let z = [0.4, -0.2, 0.6, 0.3, -0.5];
+        let rho = 0.9;
+        let roots = solve_all(&d, &z, rho);
+        let zt = refine_z(&d, rho, &roots, &z);
+        for i in 0..5 {
+            assert!(
+                (zt[i] - z[i]).abs() < 1e-9,
+                "z̃[{i}] = {} vs {}",
+                zt[i],
+                z[i]
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthogonal_with_clusters() {
+        let d = [0.0, 1e-7, 2e-7, 1.0, 2.0];
+        let z = [0.3, 0.4, 0.2, 0.5, 0.1];
+        let rho = 1.7;
+        let roots = solve_all(&d, &z, rho);
+        let zt = refine_z(&d, rho, &roots, &z);
+        let vs: Vec<Vec<f64>> = roots.iter().map(|r| eigenvector(&d, &zt, r)).collect();
+        for a in 0..5 {
+            for b in 0..a {
+                let dot: f64 = vs[a].iter().zip(&vs[b]).map(|(x, y)| x * y).sum();
+                assert!(dot.abs() < 1e-12, "⟨v{a}, v{b}⟩ = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_pole() {
+        let d = [2.0];
+        let z = [0.5];
+        let rho = 4.0;
+        let roots = solve_all(&d, &z, rho);
+        assert!((roots[0].value(&d) - (2.0 + 4.0 * 0.25)).abs() < 1e-12);
+    }
+}

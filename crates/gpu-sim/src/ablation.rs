@@ -1,0 +1,190 @@
+//! Ablation studies over the design choices the paper stacks together.
+//!
+//! The paper's headline (19.6 vs 3.4 TFLOP/s) combines four independent
+//! decisions; these functions isolate each one's contribution by toggling
+//! it inside the composed model:
+//!
+//! 1. double blocking (DBBR) vs single blocking (SBR),
+//! 2. the Figure-7 square-block `syr2k` vs cuBLAS `syr2k`,
+//! 3. GPU bulge chasing vs CPU bulge chasing,
+//! 4. optimized (L2-compact, warp-grouped) vs naive GPU BC kernels,
+//! 5. the bandwidth/rank split `(b, k)` itself.
+
+use crate::calib::*;
+use crate::compose;
+use crate::device::Device;
+use crate::kernels::*;
+use serde::Serialize;
+
+/// A named configuration and its modeled tridiagonalization time.
+#[derive(Serialize, Clone, Debug)]
+pub struct AblationRow {
+    pub config: String,
+    pub stage1_s: f64,
+    pub bc_s: f64,
+    pub total_s: f64,
+    pub tflops: f64,
+}
+
+fn row(config: String, n: usize, stage1: f64, bc: f64) -> AblationRow {
+    let flops = 4.0 / 3.0 * (n as f64).powi(3);
+    AblationRow {
+        config,
+        stage1_s: stage1,
+        bc_s: bc,
+        total_s: stage1 + bc,
+        tflops: flops / (stage1 + bc) / 1e12,
+    }
+}
+
+/// DBBR variant that calls cuBLAS `syr2k` for its deferred trailing update
+/// instead of the Figure-7 kernel — isolates the §5.1 contribution.
+pub fn dbbr_time_with_cublas_syr2k(dev: &Device, n: usize, b: usize, k: usize) -> f64 {
+    let mut t = 0.0;
+    let mut i = 0;
+    while i + b + 1 < n {
+        let mut kacc = 0;
+        let mut j = i;
+        while j < i + k && j + b + 1 < n {
+            let m = n - j - b;
+            t += DBBR_PANEL_OVERHEAD_S + panel_qr_time(dev, m, b) + symm_time(dev, m, b);
+            if kacc > 0 {
+                t += 4.0 * gemm_time(dev, m, b, kacc);
+            }
+            kacc += b;
+            j += b;
+        }
+        if kacc > 0 && j < n {
+            t += cublas_syr2k_time(dev, n - j, kacc);
+        }
+        i += k;
+    }
+    t
+}
+
+/// The full ablation ladder from the MAGMA baseline to the paper's final
+/// configuration, at one matrix size.
+pub fn ladder(dev: &Device, n: usize) -> Vec<AblationRow> {
+    vec![
+        // baseline: MAGMA two-stage (b = 64, CPU BC)
+        {
+            let (s, bc) = compose::tridiag_magma(dev, n, 64);
+            row("SBR(b=64) + CPU BC  [MAGMA baseline]".into(), n, s, bc)
+        },
+        // + GPU BC only (naive kernel), same SBR
+        {
+            let s = compose::sbr_time_magma(dev, n, 64);
+            let bc = compose::bc_gpu_time(dev, n, 64, false, None);
+            row("SBR(b=64) + naive GPU BC".into(), n, s, bc)
+        },
+        // + DBBR (cuBLAS syr2k inside), naive GPU BC
+        {
+            let s = dbbr_time_with_cublas_syr2k(dev, n, 64, 1024);
+            let bc = compose::bc_gpu_time(dev, n, 64, false, None);
+            row("DBBR(b=64,k=1024, cuBLAS syr2k) + naive GPU BC".into(), n, s, bc)
+        },
+        // + the Figure-7 square-block syr2k
+        {
+            let s = compose::dbbr_time(dev, n, 64, 1024);
+            let bc = compose::bc_gpu_time(dev, n, 64, false, None);
+            row("DBBR(b=64,k=1024, square syr2k) + naive GPU BC".into(), n, s, bc)
+        },
+        // + shrink the band to b = 32 (BC gets cheaper, syr2k stays wide)
+        {
+            let s = compose::dbbr_time(dev, n, 32, 1024);
+            let bc = compose::bc_gpu_time(dev, n, 32, false, None);
+            row("DBBR(b=32,k=1024) + naive GPU BC".into(), n, s, bc)
+        },
+        // + optimized BC kernel (paper's final configuration)
+        {
+            let (s, bc) = compose::tridiag_ours(dev, n, 32, 1024);
+            row("DBBR(b=32,k=1024) + optimized GPU BC  [paper]".into(), n, s, bc)
+        },
+    ]
+}
+
+/// Sensitivity of the final configuration to the `(b, k)` choice.
+pub fn bk_sweep(dev: &Device, n: usize) -> Vec<AblationRow> {
+    let mut out = Vec::new();
+    for &b in &[16usize, 32, 64, 128] {
+        for &k in &[256usize, 1024] {
+            if k < b {
+                continue;
+            }
+            let s = compose::dbbr_time(dev, n, b, k);
+            let bc = compose::bc_gpu_time(dev, n, b, true, None);
+            out.push(row(format!("b={b:<3} k={k}"), n, s, bc));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_improvement() {
+        // each added optimization must not slow the pipeline down
+        let dev = Device::h100();
+        let rows = ladder(&dev, 49152);
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].total_s <= w[0].total_s * 1.05,
+                "'{}' ({:.2}s) slower than '{}' ({:.2}s)",
+                w[1].config,
+                w[1].total_s,
+                w[0].config,
+                w[0].total_s
+            );
+        }
+        // the ladder spans the paper's full 3.4 → ~19.6 TFLOP/s range
+        assert!(rows[0].tflops < 4.0);
+        assert!(rows[5].tflops > 15.0);
+    }
+
+    #[test]
+    fn square_syr2k_contribution_is_visible() {
+        let dev = Device::h100();
+        let n = 49152;
+        let with_cublas = dbbr_time_with_cublas_syr2k(&dev, n, 64, 1024);
+        let with_square = compose::dbbr_time(&dev, n, 64, 1024);
+        assert!(
+            with_square < with_cublas,
+            "{with_square} !< {with_cublas}"
+        );
+    }
+
+    #[test]
+    fn bk_sweep_paper_choice_near_optimal() {
+        let dev = Device::h100();
+        let rows = bk_sweep(&dev, 49152);
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.total_s.partial_cmp(&b.total_s).unwrap())
+            .unwrap();
+        let paper = rows.iter().find(|r| r.config.contains("b=32") && r.config.contains("k=1024")).unwrap();
+        // the paper's (32, 1024) is within 25 % of the model's optimum
+        assert!(
+            paper.total_s <= best.total_s * 1.25,
+            "paper choice {:.2}s vs best '{}' {:.2}s",
+            paper.total_s,
+            best.config,
+            best.total_s
+        );
+    }
+
+    #[test]
+    fn wide_band_hurts_bc_narrow_band_hurts_syr2k() {
+        // the §3.2 tension that motivates DBBR, visible in the model
+        let dev = Device::h100();
+        let n = 49152;
+        let bc16 = compose::bc_gpu_time(&dev, n, 16, true, None);
+        let bc128 = compose::bc_gpu_time(&dev, n, 128, true, None);
+        assert!(bc16 < bc128, "BC must get cheaper with narrower bands");
+        let sbr16 = compose::sbr_time_magma(&dev, n, 16);
+        let sbr128 = compose::sbr_time_magma(&dev, n, 128);
+        assert!(sbr128 < sbr16, "SBR must get cheaper with wider bands");
+    }
+}

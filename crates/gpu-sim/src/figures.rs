@@ -1,0 +1,453 @@
+//! Structured regenerators for every table and figure in the paper's
+//! evaluation. The `repro` binary in `tg-bench` pretty-prints these.
+
+use crate::compose;
+use crate::device::Device;
+use crate::kernels;
+use crate::pipeline;
+use serde::Serialize;
+
+/// One cell of Table 1.
+#[derive(Serialize, Clone, Debug)]
+pub struct Table1Row {
+    pub k: usize,
+    pub h100_n8192_tflops: f64,
+    pub h100_n32768_tflops: f64,
+    pub rtx4090_n8192_tflops: f64,
+    pub rtx4090_n32768_tflops: f64,
+}
+
+/// Table 1: cuBLAS `Dsyr2k` throughput vs `k`.
+pub fn table1() -> Vec<Table1Row> {
+    let h100 = Device::h100();
+    let rtx = Device::rtx4090();
+    let rate = |dev: &Device, n: usize, k: usize| {
+        kernels::syr2k_flops(n, k) / kernels::cublas_syr2k_time(dev, n, k) / 1e12
+    };
+    [16usize, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&k| Table1Row {
+            k,
+            h100_n8192_tflops: rate(&h100, 8192, k),
+            h100_n32768_tflops: rate(&h100, 32768, k),
+            rtx4090_n8192_tflops: rate(&rtx, 8192, k),
+            rtx4090_n32768_tflops: rate(&rtx, 32768, k),
+        })
+        .collect()
+}
+
+/// Figure 4: EVD time breakdown at `n = 49152` on H100.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig4 {
+    pub n: usize,
+    pub cusolver_sytrd_s: f64,
+    pub cusolver_dc_s: f64,
+    pub cusolver_tridiag_share: f64,
+    pub cusolver_tridiag_tflops: f64,
+    pub magma_sbr_s: f64,
+    pub magma_bc_s: f64,
+    pub magma_dc_s: f64,
+    pub magma_bc_share_of_tridiag: f64,
+    pub magma_tridiag_tflops: f64,
+}
+
+pub fn fig4() -> Fig4 {
+    let dev = Device::h100();
+    let n = 49152usize;
+    let flops = 4.0 / 3.0 * (n as f64).powi(3);
+    let sytrd = compose::tridiag_cusolver(&dev, n);
+    let cdc = compose::dc_time_cusolver(n);
+    let (sbr, bc) = compose::tridiag_magma(&dev, n, 64);
+    let mdc = compose::dc_time_magma(n);
+    Fig4 {
+        n,
+        cusolver_sytrd_s: sytrd,
+        cusolver_dc_s: cdc,
+        cusolver_tridiag_share: sytrd / (sytrd + cdc),
+        cusolver_tridiag_tflops: flops / sytrd / 1e12,
+        magma_sbr_s: sbr,
+        magma_bc_s: bc,
+        magma_dc_s: mdc,
+        magma_bc_share_of_tridiag: bc / (sbr + bc),
+        magma_tridiag_tflops: flops / (sbr + bc) / 1e12,
+    }
+}
+
+/// Figure 5: closed-form GPU-BC time vs `S` at `n = 65536`, `b = 32`,
+/// with the MAGMA `sb2st` baseline.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig5Row {
+    pub parallel_sweeps: usize,
+    pub estimated_time_s: f64,
+    pub des_time_s: Option<f64>,
+    pub magma_baseline_s: f64,
+}
+
+pub fn fig5(with_des: bool) -> Vec<Fig5Row> {
+    let dev = Device::h100();
+    let n = 65536usize;
+    let b = 32usize;
+    let magma = kernels::magma_bc_time(&dev, n, b);
+    let t_bulge = kernels::bc_bulge_time(&dev, b, false);
+    [1usize, 2, 4, 8, 16, 32, 48, 64, 96, 128]
+        .iter()
+        .map(|&s| Fig5Row {
+            parallel_sweeps: s,
+            estimated_time_s: crate::bc_model::estimated_time(n, b, s, t_bulge),
+            des_time_s: if with_des {
+                Some(pipeline::simulate(n, b, s, t_bulge).makespan_s)
+            } else {
+                None
+            },
+            magma_baseline_s: magma,
+        })
+        .collect()
+}
+
+/// Figure 8: proposed vs cuBLAS `syr2k` across `n` (k = 1024) on H100.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig8Row {
+    pub n: usize,
+    pub cublas_tflops: f64,
+    pub ours_tflops: f64,
+}
+
+pub fn fig8() -> Vec<Fig8Row> {
+    let dev = Device::h100();
+    let k = 1024;
+    [4096usize, 8192, 16384, 24576, 32768, 40960, 49152, 57344, 65536]
+        .iter()
+        .map(|&n| {
+            let f = kernels::syr2k_flops(n, k);
+            Fig8Row {
+                n,
+                cublas_tflops: f / kernels::cublas_syr2k_time(&dev, n, k) / 1e12,
+                ours_tflops: f / kernels::ours_syr2k_time(&dev, n, k) / 1e12,
+            }
+        })
+        .collect()
+}
+
+/// Figure 9: DBBR vs MAGMA SBR (both `b = 64`) on H100.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig9Row {
+    pub n: usize,
+    pub magma_sbr_s: f64,
+    pub dbbr_s: f64,
+    pub speedup: f64,
+}
+
+pub fn fig9() -> Vec<Fig9Row> {
+    let dev = Device::h100();
+    [4096usize, 8192, 16384, 24576, 32768, 40960, 49152]
+        .iter()
+        .map(|&n| {
+            let magma = compose::sbr_time_magma(&dev, n, 64);
+            let ours = compose::dbbr_time(&dev, n, 64, 1024);
+            Fig9Row {
+                n,
+                magma_sbr_s: magma,
+                dbbr_s: ours,
+                speedup: magma / ours,
+            }
+        })
+        .collect()
+}
+
+/// Figure 11: bulge chasing — MAGMA vs naive GPU vs optimized GPU.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig11Row {
+    pub n: usize,
+    pub magma_s: f64,
+    pub naive_gpu_s: f64,
+    pub optimized_gpu_s: f64,
+    pub naive_speedup: f64,
+    pub optimized_speedup: f64,
+}
+
+pub fn fig11() -> Vec<Fig11Row> {
+    let dev = Device::h100();
+    let b = 32;
+    [4096usize, 8192, 16384, 32768, 49152, 65536]
+        .iter()
+        .map(|&n| {
+            let magma = kernels::magma_bc_time(&dev, n, b);
+            let naive = compose::bc_gpu_time(&dev, n, b, false, None);
+            let opt = compose::bc_gpu_time(&dev, n, b, true, None);
+            Fig11Row {
+                n,
+                magma_s: magma,
+                naive_gpu_s: naive,
+                optimized_gpu_s: opt,
+                naive_speedup: magma / naive,
+                optimized_speedup: magma / opt,
+            }
+        })
+        .collect()
+}
+
+/// Figure 12: achieved memory throughput vs parallel sweeps (DES).
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig12Row {
+    pub parallel_sweeps: usize,
+    pub throughput_tbs: f64,
+    pub avg_parallelism: f64,
+}
+
+pub fn fig12(n: usize) -> Vec<Fig12Row> {
+    let dev = Device::h100();
+    let b = 32;
+    let t_bulge = kernels::bc_bulge_time(&dev, b, true);
+    let max = kernels::bc_max_sweeps(&dev, true);
+    let mut ss = vec![1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    ss.retain(|&s| s < max);
+    ss.push(max);
+    ss.iter()
+        .map(|&s| {
+            let st = pipeline::simulate(n, b, s, t_bulge);
+            Fig12Row {
+                parallel_sweeps: s,
+                throughput_tbs: st.throughput_tbs,
+                avg_parallelism: st.avg_parallelism,
+            }
+        })
+        .collect()
+}
+
+/// Figure 14: back transformation, MAGMA `ormqr` vs proposed (`b = 64`,
+/// merge width 2048).
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig14Row {
+    pub n: usize,
+    pub magma_s: f64,
+    pub ours_s: f64,
+    pub speedup: f64,
+}
+
+pub fn fig14() -> Vec<Fig14Row> {
+    let dev = Device::h100();
+    [8192usize, 16384, 24576, 32768, 40960, 49152]
+        .iter()
+        .map(|&n| {
+            let magma = compose::backtransform_magma(&dev, n, 64);
+            let ours = compose::backtransform_ours(&dev, n, 64, 2048);
+            Fig14Row {
+                n,
+                magma_s: magma,
+                ours_s: ours,
+                speedup: magma / ours,
+            }
+        })
+        .collect()
+}
+
+/// Figure 15: tridiagonalization across sizes and devices.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig15Row {
+    pub n: usize,
+    pub cusolver_s: f64,
+    pub cusolver_tflops: f64,
+    pub magma_sbr_s: f64,
+    pub magma_bc_s: f64,
+    pub magma_tflops: f64,
+    pub ours_stage1_s: f64,
+    pub ours_bc_s: f64,
+    pub ours_tflops: f64,
+}
+
+pub fn fig15(dev: &Device, sizes: &[usize]) -> Vec<Fig15Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let flops = 4.0 / 3.0 * (n as f64).powi(3);
+            let cus = compose::tridiag_cusolver(dev, n);
+            let (msbr, mbc) = compose::tridiag_magma(dev, n, 64);
+            let (dbbr, obc) = compose::tridiag_ours(dev, n, 32, 1024);
+            Fig15Row {
+                n,
+                cusolver_s: cus,
+                cusolver_tflops: flops / cus / 1e12,
+                magma_sbr_s: msbr,
+                magma_bc_s: mbc,
+                magma_tflops: flops / (msbr + mbc) / 1e12,
+                ours_stage1_s: dbbr,
+                ours_bc_s: obc,
+                ours_tflops: flops / (dbbr + obc) / 1e12,
+            }
+        })
+        .collect()
+}
+
+/// Figure 16: end-to-end EVD, with and without eigenvectors.
+#[derive(Serialize, Clone, Debug)]
+pub struct Fig16Row {
+    pub n: usize,
+    pub vectors: bool,
+    pub cusolver_s: f64,
+    pub magma_s: f64,
+    pub ours_s: f64,
+    pub speedup_vs_cusolver: f64,
+    pub speedup_vs_magma: f64,
+}
+
+pub fn fig16() -> Vec<Fig16Row> {
+    let dev = Device::h100();
+    let mut rows = Vec::new();
+    for &vectors in &[false, true] {
+        for &n in &[4096usize, 8192, 16384, 24576, 32768, 40960, 49152] {
+            let cus = compose::evd_cusolver(&dev, n, vectors);
+            let mag = compose::evd_magma(&dev, n, vectors);
+            let ours = compose::evd_ours(&dev, n, vectors);
+            rows.push(Fig16Row {
+                n,
+                vectors,
+                cusolver_s: cus,
+                magma_s: mag,
+                ours_s: ours,
+                speedup_vs_cusolver: cus / ours,
+                speedup_vs_magma: mag / ours,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_expected_shape() {
+        let t = table1();
+        assert_eq!(t.len(), 9);
+        // monotone in k on H100
+        for w in t.windows(2) {
+            assert!(w[1].h100_n8192_tflops > w[0].h100_n8192_tflops);
+            assert!(w[1].h100_n32768_tflops > w[0].h100_n32768_tflops);
+        }
+        // 4090 near peak everywhere
+        for r in &t {
+            assert!(r.rtx4090_n8192_tflops > 0.9 && r.rtx4090_n8192_tflops < 1.3);
+        }
+    }
+
+    #[test]
+    fn fig4_shares() {
+        let f = fig4();
+        // §3.1: tridiagonalization is > 97 % of cuSOLVER's EVD
+        assert!(f.cusolver_tridiag_share > 0.95, "{}", f.cusolver_tridiag_share);
+        // §3.1: BC is ≈ 48 % of MAGMA's two-stage tridiagonalization
+        assert!(
+            (0.40..0.58).contains(&f.magma_bc_share_of_tridiag),
+            "{}",
+            f.magma_bc_share_of_tridiag
+        );
+        assert!((f.magma_tridiag_tflops - 3.4).abs() < 0.7);
+        assert!((f.cusolver_tridiag_tflops - 2.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn fig5_crossover() {
+        let rows = fig5(false);
+        let magma = rows[0].magma_baseline_s;
+        let at = |s: usize| {
+            rows.iter()
+                .find(|r| r.parallel_sweeps == s)
+                .unwrap()
+                .estimated_time_s
+        };
+        assert!(at(1) > magma * 5.0);
+        assert!(at(16) > magma);
+        assert!(at(32) < magma);
+        assert!(at(128) < at(32));
+    }
+
+    #[test]
+    fn fig8_cliff_and_win() {
+        let rows = fig8();
+        for r in &rows {
+            assert!(r.ours_tflops > r.cublas_tflops, "n={}", r.n);
+        }
+        let r32k = rows.iter().find(|r| r.n == 32768).unwrap();
+        let r49k = rows.iter().find(|r| r.n == 49152).unwrap();
+        assert!(r49k.cublas_tflops < 0.5 * r32k.cublas_tflops);
+        assert!(r49k.ours_tflops > 0.9 * r32k.ours_tflops);
+    }
+
+    #[test]
+    fn fig9_speedup_band() {
+        let rows = fig9();
+        assert!(rows.iter().all(|r| r.speedup > 1.0), "DBBR always wins");
+        // at the paper's largest size the ratio lands near the quoted 3.1×
+        let last = rows.last().unwrap();
+        assert!(
+            (2.5..4.5).contains(&last.speedup),
+            "DBBR speedup at {} = {:.2}",
+            last.n,
+            last.speedup
+        );
+    }
+
+    #[test]
+    fn fig11_speedup_bands() {
+        let rows = fig11();
+        let last = rows.last().unwrap();
+        assert!((4.0..8.0).contains(&last.naive_speedup));
+        assert!((9.0..16.0).contains(&last.optimized_speedup));
+    }
+
+    #[test]
+    fn fig12_throughput_monotone() {
+        let rows = fig12(4096); // small n: test-speed DES
+        for w in rows.windows(2) {
+            assert!(w[1].throughput_tbs >= w[0].throughput_tbs * 0.95);
+        }
+        assert!(rows.last().unwrap().throughput_tbs > 3.0 * rows[0].throughput_tbs);
+    }
+
+    #[test]
+    fn fig14_band() {
+        for r in fig14() {
+            assert!((1.1..2.4).contains(&r.speedup), "n={} {:.2}", r.n, r.speedup);
+        }
+    }
+
+    #[test]
+    fn fig15_h100_headline() {
+        let rows = fig15(&Device::h100(), &[16384, 32768, 49152]);
+        let last = rows.last().unwrap();
+        assert!((16.0..24.0).contains(&last.ours_tflops), "{}", last.ours_tflops);
+        assert!(last.ours_tflops > 4.0 * last.magma_tflops);
+        assert!(last.magma_tflops > last.cusolver_tflops);
+    }
+
+    #[test]
+    fn fig15_rtx4090_bc_comparison() {
+        // §6.1: on the 4090, MAGMA BC 14 327 ms vs ours 1 839 ms at 32768
+        let rows = fig15(&Device::rtx4090(), &[4096, 32768]);
+        let big = rows.last().unwrap();
+        let ratio = big.magma_bc_s / big.ours_bc_s;
+        assert!((5.0..11.0).contains(&ratio), "4090 BC ratio {ratio:.1}");
+        // ours can exceed the FP64 peak thanks to the INT8 DGEMM model
+        assert!(big.ours_tflops > 1.0);
+    }
+
+    #[test]
+    fn fig16_headline() {
+        let rows = fig16();
+        let novec: Vec<_> = rows.iter().filter(|r| !r.vectors).collect();
+        let best_cus = novec.iter().map(|r| r.speedup_vs_cusolver).fold(0.0, f64::max);
+        // vs MAGMA compare at the anchor size (small-n ratios are dominated
+        // by MAGMA's cuBLAS call floors in the model)
+        let mag_49k = novec.iter().find(|r| r.n == 49152).unwrap().speedup_vs_magma;
+        assert!((4.5..8.0).contains(&best_cus), "{best_cus:.1}");
+        assert!((2.8..5.0).contains(&mag_49k), "{mag_49k:.1}");
+        // small-n crossover: at 4096 without vectors cuSOLVER wins
+        let small = novec.iter().find(|r| r.n == 4096).unwrap();
+        assert!(small.speedup_vs_cusolver < 1.1);
+        // with vectors the advantage over cuSOLVER is modest
+        let wv: Vec<_> = rows.iter().filter(|r| r.vectors).collect();
+        let best_v = wv.iter().map(|r| r.speedup_vs_cusolver).fold(0.0, f64::max);
+        assert!((1.1..2.5).contains(&best_v), "{best_v:.2}");
+    }
+}

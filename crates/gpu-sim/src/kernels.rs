@@ -1,0 +1,324 @@
+//! Kernel-level cost models.
+//!
+//! Each function returns an estimated execution time in **seconds** for one
+//! kernel invocation on the given [`Device`]. Models are either rooflines
+//! (`max(flops/rate, bytes/bandwidth) + overhead`) or the additive
+//! floor-plus-rate form fitted to Table 1 (see [`crate::calib`]).
+
+use crate::calib::*;
+use crate::device::{Device, DeviceKind};
+
+/// Scaling of H100-family saturation constants when a what-if device
+/// changes the FP64 peak (the calibration constants are anchored to the
+/// stock 67 TFLOP/s part).
+fn h100_peak_scale(dev: &Device) -> f64 {
+    dev.fp64_peak_tflops / 67.0
+}
+
+/// Flop count of `syr2k` on an `n × n` result with rank `2k` (paper
+/// convention: `2·k·n·(n+1) ≈ 2n²k`).
+pub fn syr2k_flops(n: usize, k: usize) -> f64 {
+    2.0 * k as f64 * n as f64 * (n as f64 + 1.0)
+}
+
+/// cuBLAS `Dsyr2k` time. Additive model `t = t0(n) + flops/P_sat(n)`
+/// fitted to Table 1, with the Figure-8 cliff for `n ≥ 49152` on H100.
+pub fn cublas_syr2k_time(dev: &Device, n: usize, k: usize) -> f64 {
+    let flops = syr2k_flops(n, k);
+    match dev.kind {
+        DeviceKind::H100 => {
+            let t0 = CUBLAS_SYR2K_FLOOR_8192_S * (n as f64 / 8192.0).powf(CUBLAS_SYR2K_FLOOR_EXP);
+            let mut sat = CUBLAS_SYR2K_SAT_TFLOPS * h100_peak_scale(dev) * 1e12;
+            if n >= CUBLAS_SYR2K_CLIFF_N {
+                sat *= CUBLAS_SYR2K_CLIFF_FACTOR;
+            }
+            t0 + flops / sat
+        }
+        DeviceKind::Rtx4090 => {
+            // compute-bound at FP64 peak with mild shape efficiency
+            // (Table 1 RTX 4090 column: 0.83..0.97 of peak)
+            let eff = rtx_syr2k_eff(k);
+            flops / (dev.fp64_peak_tflops * eff * 1e12) + 0.2e-3
+        }
+    }
+}
+
+fn rtx_syr2k_eff(k: usize) -> f64 {
+    let l = ((k.max(16) as f64) / 16.0).log2().min(8.0);
+    0.83 + 0.13 * l / 8.0
+}
+
+/// The proposed square-block `syr2k` (Figure 7): stable saturated rate,
+/// tiny launch floor, no large-`n` cliff.
+pub fn ours_syr2k_time(dev: &Device, n: usize, k: usize) -> f64 {
+    let flops = syr2k_flops(n, k);
+    match dev.kind {
+        DeviceKind::H100 => {
+            let t0 = OURS_SYR2K_FLOOR_8192_S * (n as f64 / 8192.0).powf(CUBLAS_SYR2K_FLOOR_EXP);
+            // memory roofline still applies for very small k
+            let bytes = 8.0 * (n as f64) * (n as f64) + 32.0 * n as f64 * k as f64;
+            let t_mem = bytes / (dev.mem_bw_tbs * STREAM_BW_EFF * 1e12);
+            t0 + (flops / (OURS_SYR2K_SAT_TFLOPS * h100_peak_scale(dev) * 1e12)).max(t_mem)
+        }
+        DeviceKind::Rtx4090 => {
+            let eff = (rtx_syr2k_eff(k) + 0.05).min(0.97);
+            flops / (dev.gemm_peak_tflops() * eff * 1e12) + 0.1e-3
+        }
+    }
+}
+
+/// Inner-dimension knee for a device, scaled by its compute/bandwidth
+/// balance (an H100 needs ~20 flops/byte of reuse to saturate; a 4090's
+/// scarce FP64 units saturate with far less).
+fn gemm_knee(dev: &Device) -> f64 {
+    let balance = dev.gemm_peak_tflops() / dev.mem_bw_tbs;
+    GEMM_K_KNEE * balance / (67.0 / 3.35)
+}
+
+/// General GEMM (`m × n` output, inner dimension `k`): rate saturates with
+/// the inner dimension (`SAT · k/(k + KNEE)`), plus the memory roofline.
+pub fn gemm_time(dev: &Device, m: usize, n: usize, k: usize) -> f64 {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let sat = match dev.kind {
+        DeviceKind::H100 => GEMM_SAT_TFLOPS * h100_peak_scale(dev),
+        DeviceKind::Rtx4090 => dev.gemm_peak_tflops() * 0.9,
+    };
+    let rate = sat * (k as f64) / (k as f64 + gemm_knee(dev)) * 1e12;
+    let bytes = 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64);
+    let t_mem = bytes / (dev.mem_bw_tbs * STREAM_BW_EFF * 1e12);
+    (flops / rate).max(t_mem) + 20.0e-6
+}
+
+/// Symmetric-times-panel product `A·W` (`A` n×n symmetric, `W` n×b):
+/// bounded by streaming `A` once and by the narrow-output rate knee
+/// (only `b` result columns limit occupancy, like a GEMM with inner
+/// dimension `b` limits reuse).
+pub fn symm_time(dev: &Device, n: usize, b: usize) -> f64 {
+    let flops = 2.0 * n as f64 * n as f64 * b as f64;
+    let bytes = 8.0 * n as f64 * n as f64 * 0.5 + 16.0 * n as f64 * b as f64;
+    let t_mem = bytes / (dev.mem_bw_tbs * STREAM_BW_EFF * 1e12);
+    let sat = match dev.kind {
+        DeviceKind::H100 => GEMM_SAT_TFLOPS * h100_peak_scale(dev),
+        DeviceKind::Rtx4090 => dev.gemm_peak_tflops() * 0.9,
+    };
+    let rate = sat * (b as f64) / (b as f64 + gemm_knee(dev)) * 1e12;
+    (flops / rate).max(t_mem) + 20.0e-6
+}
+
+/// cuBLAS-flavoured `symm` used inside MAGMA's trailing update: pays the
+/// same call floor as its `syr2k`.
+pub fn cublas_symm_time(dev: &Device, n: usize, b: usize) -> f64 {
+    match dev.kind {
+        DeviceKind::H100 => {
+            let t0 =
+                CUBLAS_SYR2K_FLOOR_8192_S * (n.max(1) as f64 / 8192.0).powf(CUBLAS_SYR2K_FLOOR_EXP);
+            t0 + symm_time(dev, n, b)
+        }
+        DeviceKind::Rtx4090 => symm_time(dev, n, b) + 0.2e-3,
+    }
+}
+
+/// Tall-skinny panel QR (`m × b`).
+pub fn panel_qr_time(dev: &Device, m: usize, b: usize) -> f64 {
+    let flops = 2.0 * m as f64 * b as f64 * b as f64;
+    let rate = PANEL_QR_TFLOPS.min(dev.fp64_peak_tflops * 0.5) * 1e12;
+    flops / rate + 30.0e-6
+}
+
+/// cuSOLVER `Dsytrd`: `4n³/3` flops at a size-saturating rate
+/// (2.0–2.1 TFLOP/s at large `n` on H100 — §3.1).
+pub fn cusolver_sytrd_time(dev: &Device, n: usize) -> f64 {
+    let flops = 4.0 / 3.0 * (n as f64).powi(3);
+    let sat = match dev.kind {
+        DeviceKind::H100 => CUSOLVER_SYTRD_SAT_TFLOPS,
+        // direct tridiagonalization is ~50 % BLAS-2 ⇒ bandwidth-bound;
+        // scale the H100 rate by the bandwidth ratio
+        DeviceKind::Rtx4090 => CUSOLVER_SYTRD_SAT_TFLOPS * (1.008 / 3.35),
+    };
+    let x = (n as f64 / CUSOLVER_SYTRD_HALF_N).powi(3);
+    let rate = sat * x / (1.0 + x) * 1e12;
+    flops / rate.max(1e9)
+}
+
+/// MAGMA CPU bulge chasing (`Dsb2st`, 8 MKL threads): `t = f(b)·n²`,
+/// log-interpolated between the paper's three `b` anchors.
+pub fn magma_bc_time(dev: &Device, n: usize, b: usize) -> f64 {
+    let f = magma_bc_s_per_n2(b);
+    let host = match dev.kind {
+        DeviceKind::H100 => 1.0,
+        DeviceKind::Rtx4090 => MAGMA_BC_HOST_4090_FACTOR,
+    };
+    f * host * (n as f64) * (n as f64)
+}
+
+fn magma_bc_s_per_n2(b: usize) -> f64 {
+    let pts = [
+        (32.0f64, MAGMA_BC_B32_S_PER_N2),
+        (64.0, MAGMA_BC_B64_S_PER_N2),
+        (128.0, MAGMA_BC_B128_S_PER_N2),
+    ];
+    let lb = (b.max(2) as f64).log2();
+    if lb <= pts[0].0.log2() {
+        // extrapolate flat below b = 32
+        return pts[0].1 * (b as f64 / 32.0).max(0.5);
+    }
+    for w in pts.windows(2) {
+        let (b0, f0) = w[0];
+        let (b1, f1) = w[1];
+        if lb <= b1.log2() {
+            let t = (lb - b0.log2()) / (b1.log2() - b0.log2());
+            return (f0.ln() * (1.0 - t) + f1.ln() * t).exp();
+        }
+    }
+    // extrapolate beyond b = 128 with the last slope
+    let slope = (MAGMA_BC_B128_S_PER_N2 / MAGMA_BC_B64_S_PER_N2).ln();
+    MAGMA_BC_B128_S_PER_N2 * ((lb - 7.0) * slope).exp()
+}
+
+/// Per-bulge task time for the GPU bulge-chasing kernels, scaled from the
+/// H100 `b = 32` anchors by work (`∝ b²`) and device bandwidth.
+pub fn bc_bulge_time(dev: &Device, b: usize, optimized: bool) -> f64 {
+    let base = if optimized {
+        BC_BULGE_TIME_OPT_S
+    } else {
+        BC_BULGE_TIME_NAIVE_S
+    };
+    let work = (base - BC_BULGE_LATENCY_S).max(0.0) * (b as f64 / 32.0).powi(2);
+    let bw_scale = 3.35 / dev.mem_bw_tbs;
+    BC_BULGE_LATENCY_S + work * bw_scale
+}
+
+/// Maximum concurrent sweeps the device sustains for a BC kernel flavour.
+pub fn bc_max_sweeps(dev: &Device, optimized: bool) -> usize {
+    dev.sm_count
+        * if optimized {
+            BC_OPT_SWEEPS_PER_SM
+        } else {
+            BC_NAIVE_SWEEPS_PER_SM
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tflops(flops: f64, t: f64) -> f64 {
+        flops / t / 1e12
+    }
+
+    /// The model must land on Table 1 within ~15 % for every cell.
+    #[test]
+    fn table1_h100_anchors() {
+        let dev = Device::h100();
+        let table: &[(usize, usize, f64)] = &[
+            (8192, 16, 0.43),
+            (8192, 64, 1.71),
+            (8192, 128, 3.39),
+            (8192, 1024, 18.91),
+            (8192, 4096, 34.59),
+            (32768, 16, 3.58),
+            (32768, 64, 12.78),
+            (32768, 128, 21.05),
+            (32768, 1024, 42.86),
+            (32768, 4096, 45.54),
+        ];
+        for &(n, k, expect) in table {
+            let t = cublas_syr2k_time(&dev, n, k);
+            let got = tflops(syr2k_flops(n, k), t);
+            let rel = (got - expect).abs() / expect;
+            assert!(
+                rel < 0.16,
+                "n={n} k={k}: model {got:.2} vs paper {expect:.2} ({:.0}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn table1_rtx4090_anchors() {
+        let dev = Device::rtx4090();
+        for &(n, k, expect) in &[
+            (8192usize, 16usize, 1.07f64),
+            (8192, 128, 1.06),
+            (8192, 4096, 1.24),
+            (32768, 1024, 1.24),
+        ] {
+            let t = cublas_syr2k_time(&dev, n, k);
+            let got = tflops(syr2k_flops(n, k), t);
+            assert!(
+                (got - expect).abs() / expect < 0.12,
+                "n={n} k={k}: {got:.3} vs {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn ours_beats_cublas_and_survives_cliff() {
+        let dev = Device::h100();
+        for n in [8192usize, 16384, 32768, 49152, 65536] {
+            let ours = ours_syr2k_time(&dev, n, 1024);
+            let cublas = cublas_syr2k_time(&dev, n, 1024);
+            assert!(ours < cublas, "n={n}");
+        }
+        // cliff: cuBLAS rate drops sharply at 49152; ours is stable
+        let r_cu_48k = tflops(
+            syr2k_flops(49152, 1024),
+            cublas_syr2k_time(&dev, 49152, 1024),
+        );
+        let r_cu_32k = tflops(
+            syr2k_flops(32768, 1024),
+            cublas_syr2k_time(&dev, 32768, 1024),
+        );
+        assert!(r_cu_48k < 0.5 * r_cu_32k, "no cliff: {r_cu_48k} vs {r_cu_32k}");
+        let r_ours_48k = tflops(
+            syr2k_flops(49152, 1024),
+            ours_syr2k_time(&dev, 49152, 1024),
+        );
+        assert!(r_ours_48k > 45.0);
+    }
+
+    #[test]
+    fn sytrd_anchor() {
+        let dev = Device::h100();
+        let t = cusolver_sytrd_time(&dev, 49152);
+        let rate = tflops(4.0 / 3.0 * 49152f64.powi(3), t);
+        assert!((rate - 2.05).abs() < 0.15, "rate {rate}");
+    }
+
+    #[test]
+    fn magma_bc_anchors() {
+        let dev = Device::h100();
+        assert!((magma_bc_time(&dev, 49152, 32) - 16.2).abs() < 0.01);
+        assert!((magma_bc_time(&dev, 49152, 64) - 23.9).abs() < 0.01);
+        assert!((magma_bc_time(&dev, 49152, 128) - 84.9).abs() < 0.01);
+        // interpolation is monotone
+        let t48 = magma_bc_time(&dev, 49152, 48);
+        assert!(t48 > 16.2 && t48 < 23.9);
+    }
+
+    #[test]
+    fn rtx4090_magma_bc_anchor() {
+        // §6.1: 14 327 ms at n = 32768, b = 64 on the 4090 system
+        let dev = Device::rtx4090();
+        let t = magma_bc_time(&dev, 32768, 64);
+        assert!((t - 14.327).abs() / 14.327 < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn gemm_rate_grows_with_inner_dim() {
+        let dev = Device::h100();
+        let r64 = 2.0 * 4096f64.powi(2) * 64.0 / gemm_time(&dev, 4096, 4096, 64) / 1e12;
+        let r2048 = 2.0 * 4096f64.powi(2) * 2048.0 / gemm_time(&dev, 4096, 4096, 2048) / 1e12;
+        assert!(r64 < 30.0 && r64 > 15.0, "k=64 rate {r64}");
+        assert!(r2048 > 40.0, "k=2048 rate {r2048}");
+    }
+
+    #[test]
+    fn bulge_time_scales() {
+        let h = Device::h100();
+        let r = Device::rtx4090();
+        assert!(bc_bulge_time(&h, 32, true) < bc_bulge_time(&h, 32, false));
+        assert!(bc_bulge_time(&h, 64, true) > bc_bulge_time(&h, 32, true));
+        assert!(bc_bulge_time(&r, 32, true) > bc_bulge_time(&h, 32, true));
+    }
+}

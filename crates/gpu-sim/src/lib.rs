@@ -1,0 +1,35 @@
+//! # tg-gpu-sim
+//!
+//! The GPU substrate substitute: device models, calibrated kernel cost
+//! models, the paper's bulge-chasing pipeline model (closed form, §3.3)
+//! plus a discrete-event cross-check, an L2 cache simulator for the
+//! Figure-10 layout argument, and algorithm-level time composers used to
+//! regenerate every table and figure of the evaluation.
+//!
+//! ## Why a model and not a GPU
+//!
+//! This reproduction runs on a CPU-only host. The paper's performance
+//! claims are *shape* claims — who wins, by what factor, where crossovers
+//! sit — and those shapes derive from (a) roofline arithmetic, (b) the
+//! empirically poor small-`k` behaviour of cuBLAS `syr2k` (Table 1), and
+//! (c) the sweep-pipeline structure of bulge chasing. All three are
+//! mechanistic and reproducible without the silicon. Kernel primitives are
+//! calibrated against numbers *printed in the paper* (see [`calib`]);
+//! figure-level results are **composed** from those primitives, never
+//! hard-coded.
+
+pub mod ablation;
+pub mod anchors;
+pub mod bc_model;
+pub mod cache;
+pub mod calib;
+pub mod compose;
+pub mod device;
+pub mod figures;
+pub mod kernels;
+pub mod pipeline;
+pub mod roofline;
+pub mod tune;
+pub mod whatif;
+
+pub use device::{Device, DeviceKind};

@@ -1,0 +1,181 @@
+//! Discrete-event simulator of the bulge-chasing sweep pipeline.
+//!
+//! Where [`crate::bc_model`] reproduces the paper's closed-form §3.3
+//! estimate, this simulator executes the actual dependency structure of
+//! Algorithm 2 — sweep `s` task `j` waits for sweep `s−1` task `j+3`
+//! (the 2b-row spacing expressed in tasks) and for a free sweep slot —
+//! and reports makespan, occupancy and achieved memory throughput
+//! (the quantity Figure 12 measures with Nsight Compute).
+
+use crate::calib::bc_bytes_per_task;
+
+/// Result of a pipeline simulation.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// End-to-end time in seconds.
+    pub makespan_s: f64,
+    /// Total bulge tasks executed.
+    pub total_tasks: u64,
+    /// Average number of concurrently busy sweeps.
+    pub avg_parallelism: f64,
+    /// Achieved memory throughput in TB/s, given the per-task byte count.
+    pub throughput_tbs: f64,
+}
+
+/// Number of bulge tasks in sweep `s` for an `n × n` band of width `b`
+/// (mirrors `run_sweep` in `tridiag-core`).
+pub fn tasks_in_sweep(n: usize, b: usize, s: usize) -> usize {
+    if s + 2 >= n {
+        return 0;
+    }
+    let first_end = (s + b).min(n - 1);
+    1 + (n - 1 - first_end).div_ceil(b)
+}
+
+/// Simulates the pipeline: `s_max` concurrent sweep slots, each bulge task
+/// takes `t_bulge` seconds.
+///
+/// Dependency rule (law ①): task `j` of sweep `s` starts only after task
+/// `j + 3` of sweep `s − 1` finished. Slot rule (law ③): sweep `s` cannot
+/// start before sweep `s − s_max` finished.
+pub fn simulate(n: usize, b: usize, s_max: usize, t_bulge: f64) -> PipelineStats {
+    assert!(s_max >= 1);
+    let n_sweeps = n.saturating_sub(2);
+    let mut slot_free = vec![0.0f64; s_max];
+    // completion times of the previous sweep's tasks
+    let mut prev: Vec<f64> = Vec::new();
+    let mut total_tasks = 0u64;
+    let mut makespan = 0.0f64;
+    let mut busy_time = 0.0f64;
+
+    for s in 0..n_sweeps {
+        let tasks = tasks_in_sweep(n, b, s);
+        if tasks == 0 {
+            continue;
+        }
+        let slot = s % s_max;
+        let mut t = slot_free[slot];
+        let mut cur = Vec::with_capacity(tasks);
+        for j in 0..tasks {
+            // law ①: sweep s starts after sweep s−1 processed 3 bulges,
+            // i.e. task j waits for task j+2 of the previous sweep to
+            // complete (so the previous sweep is *working on* j+3)
+            if s > 0 {
+                let dep = j + 2;
+                if dep < prev.len() {
+                    t = t.max(prev[dep]);
+                } else if !prev.is_empty() {
+                    t = t.max(*prev.last().unwrap());
+                }
+            }
+            t += t_bulge;
+            cur.push(t);
+        }
+        busy_time += tasks as f64 * t_bulge;
+        total_tasks += tasks as u64;
+        makespan = makespan.max(t);
+        slot_free[slot] = t;
+        prev = cur;
+    }
+
+    let bytes = total_tasks as f64 * bc_bytes_per_task(b);
+    PipelineStats {
+        makespan_s: makespan,
+        total_tasks,
+        avg_parallelism: if makespan > 0.0 {
+            busy_time / makespan
+        } else {
+            0.0
+        },
+        throughput_tbs: if makespan > 0.0 {
+            bytes / makespan / 1e12
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc_model;
+
+    #[test]
+    fn task_counts() {
+        // n = 10, b = 2: sweep 0 spans [1, 2], then +2 per task to row 9
+        assert_eq!(tasks_in_sweep(10, 2, 0), 1 + 4);
+        assert_eq!(tasks_in_sweep(10, 2, 7), 1);
+        assert_eq!(tasks_in_sweep(10, 2, 8), 0);
+        // wide band: single task per sweep
+        assert_eq!(tasks_in_sweep(10, 16, 0), 1);
+    }
+
+    #[test]
+    fn serial_equals_total_work() {
+        let n = 200;
+        let b = 4;
+        let st = simulate(n, b, 1, 1.0);
+        // S = 1: sweeps never overlap ⇒ makespan = total tasks
+        assert_eq!(st.makespan_s, st.total_tasks as f64);
+        assert!((st.avg_parallelism - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_monotone_in_s() {
+        let n = 400;
+        let b = 8;
+        let mut prev = f64::INFINITY;
+        for s in [1usize, 2, 4, 8, 16, 64] {
+            let st = simulate(n, b, s, 1.0);
+            assert!(st.makespan_s <= prev + 1e-9, "S={s}");
+            prev = st.makespan_s;
+        }
+    }
+
+    #[test]
+    fn unlimited_matches_3n_law() {
+        // with unlimited slots, the makespan is ≈ 3·(#sweeps) + tasks of
+        // the first sweep tail — the same scaling as the paper's 3n − 2
+        let n = 2000;
+        let b = 20;
+        let st = simulate(n, b, n, 1.0);
+        let closed = bc_model::total_cycles(n, b, n);
+        let rel = (st.makespan_s - closed).abs() / closed;
+        assert!(rel < 0.15, "DES {} vs closed {closed}", st.makespan_s);
+    }
+
+    #[test]
+    fn closed_form_tracks_des_with_stalls() {
+        let n = 1024;
+        let b = 16;
+        for s in [4usize, 8, 16] {
+            let des = simulate(n, b, s, 1.0).makespan_s;
+            let closed = bc_model::total_cycles(n, b, s);
+            let rel = (des - closed).abs() / closed;
+            assert!(
+                rel < 0.35,
+                "S={s}: DES {des} vs closed {closed} ({:.0}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_rises_with_parallelism() {
+        // Figure 12's qualitative content
+        let n = 1500;
+        let b = 16;
+        let t1 = simulate(n, b, 1, 1e-5).throughput_tbs;
+        let t16 = simulate(n, b, 16, 1e-5).throughput_tbs;
+        let t64 = simulate(n, b, 64, 1e-5).throughput_tbs;
+        assert!(t16 > 5.0 * t1);
+        assert!(t64 >= t16);
+    }
+
+    #[test]
+    fn parallelism_bounded_by_slots() {
+        let st = simulate(600, 8, 7, 1.0);
+        assert!(st.avg_parallelism <= 7.0 + 1e-9);
+        assert!(st.avg_parallelism > 3.0);
+    }
+}

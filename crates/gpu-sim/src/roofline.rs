@@ -1,0 +1,175 @@
+//! Roofline analysis (§3.2 cites Williams et al. \[25\] to explain why
+//! small-`k` `syr2k` cannot run fast on an H100 but saturates an RTX 4090).
+//!
+//! For each kernel shape this module computes the arithmetic intensity
+//! `AI = flops / bytes` and the roofline bound
+//! `min(peak, AI · bandwidth)`, which the cost models in
+//! [`crate::kernels`] must respect — a test enforces that no model ever
+//! predicts super-roofline throughput.
+
+use crate::device::Device;
+use serde::Serialize;
+
+/// A kernel shape placed on the roofline.
+#[derive(Serialize, Clone, Debug)]
+pub struct RooflinePoint {
+    pub kernel: String,
+    /// Arithmetic intensity in flops/byte.
+    pub ai: f64,
+    /// Roofline-bound throughput in TFLOP/s.
+    pub bound_tflops: f64,
+    /// What the calibrated cost model actually predicts.
+    pub model_tflops: f64,
+    /// Whether the kernel is memory-bound at this shape.
+    pub memory_bound: bool,
+}
+
+/// Roofline bound for a given arithmetic intensity on a device (FP64
+/// compute ceiling).
+pub fn bound(dev: &Device, ai: f64) -> f64 {
+    (ai * dev.mem_bw_tbs).min(dev.fp64_peak_tflops)
+}
+
+/// Like [`bound`] but with the *effective* compute ceiling — the INT8
+/// tensor-core DGEMM rate where modeled (the RTX 4090 exceeding its FP64
+/// peak in Figure 15b is exactly this ceiling).
+pub fn bound_effective(dev: &Device, ai: f64) -> f64 {
+    (ai * dev.mem_bw_tbs).min(dev.gemm_peak_tflops())
+}
+
+/// Arithmetic intensity of `syr2k` on an `n × n` result with rank `2k`:
+/// reads `A`, `B` (`2·8nk`), reads + writes the `C` triangle (`2·8·n²/2`).
+pub fn syr2k_ai(n: usize, k: usize) -> f64 {
+    let flops = 2.0 * n as f64 * n as f64 * k as f64;
+    let bytes = 16.0 * n as f64 * k as f64 + 8.0 * n as f64 * n as f64;
+    flops / bytes
+}
+
+/// Arithmetic intensity of `symv` (`y = Ax`, symmetric `A` read once):
+/// `2n²` flops over `8·n²/2 + 24n` bytes ⇒ ≈ 0.5 flops/byte — the §2.2
+/// explanation of why direct tridiagonalization (≈50 % BLAS-2) is slow.
+pub fn symv_ai(n: usize) -> f64 {
+    let flops = 2.0 * n as f64 * n as f64;
+    let bytes = 4.0 * n as f64 * n as f64 + 24.0 * n as f64;
+    flops / bytes
+}
+
+/// Arithmetic intensity of square GEMM (`n³·2` flops, `3·8n²` bytes).
+pub fn gemm_ai(n: usize) -> f64 {
+    2.0 * n as f64 / 24.0
+}
+
+/// Places the paper's key kernel shapes on a device's roofline.
+pub fn chart(dev: &Device, n: usize) -> Vec<RooflinePoint> {
+    use crate::kernels;
+    let mut out = Vec::new();
+    for &k in &[16usize, 64, 128, 1024, 4096] {
+        let ai = syr2k_ai(n, k);
+        let model =
+            kernels::syr2k_flops(n, k) / kernels::cublas_syr2k_time(dev, n, k) / 1e12;
+        out.push(RooflinePoint {
+            kernel: format!("cublas_syr2k k={k}"),
+            ai,
+            bound_tflops: bound(dev, ai),
+            model_tflops: model,
+            memory_bound: ai * dev.mem_bw_tbs < dev.fp64_peak_tflops,
+        });
+    }
+    {
+        let k = 1024;
+        let ai = syr2k_ai(n, k);
+        let model = kernels::syr2k_flops(n, k) / kernels::ours_syr2k_time(dev, n, k) / 1e12;
+        out.push(RooflinePoint {
+            kernel: format!("ours_syr2k k={k}"),
+            ai,
+            bound_tflops: bound(dev, ai),
+            model_tflops: model,
+            memory_bound: ai * dev.mem_bw_tbs < dev.fp64_peak_tflops,
+        });
+    }
+    {
+        // symm (the ZY product) at bandwidth 32
+        let ai = 2.0 * 32.0 / 8.0 * 2.0; // 2n²b flops / (n²/2·8 + …) ≈ b/2
+        let flops = 2.0 * (n as f64) * (n as f64) * 32.0;
+        let model = flops / crate::kernels::symm_time(dev, n, 32) / 1e12;
+        out.push(RooflinePoint {
+            kernel: "symm b=32 (ZY product)".into(),
+            ai,
+            bound_tflops: bound(dev, ai),
+            model_tflops: model,
+            memory_bound: ai * dev.mem_bw_tbs < dev.fp64_peak_tflops,
+        });
+    }
+    {
+        let ai = symv_ai(n);
+        // BLAS-2 half of direct sytrd runs at the symv roofline at best
+        out.push(RooflinePoint {
+            kernel: "symv (sytrd BLAS-2 half)".into(),
+            ai,
+            bound_tflops: bound(dev, ai),
+            model_tflops: bound(dev, ai), // definitionally at the roofline
+            memory_bound: true,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ai_formulas() {
+        // syr2k AI ≈ k/4 for k ≪ n (the §3.2 back-of-envelope)
+        let ai = syr2k_ai(32768, 64);
+        assert!((ai - 64.0 / 4.0).abs() / ai < 0.2, "{ai}");
+        // symv is ~0.5 flops/byte
+        assert!((symv_ai(8192) - 0.5).abs() < 0.05);
+        // gemm AI grows linearly with n
+        assert!(gemm_ai(1200) > 10.0 * gemm_ai(120) * 0.99);
+    }
+
+    /// No calibrated model may exceed its roofline bound (physics check);
+    /// memory-bound kernels must sit well below peak.
+    #[test]
+    fn models_respect_the_roofline() {
+        for dev in [Device::h100(), Device::rtx4090()] {
+            for p in chart(&dev, 32768) {
+                let ceiling = bound_effective(&dev, p.ai);
+                assert!(
+                    p.model_tflops <= ceiling * 1.05,
+                    "{} on {}: model {:.1} > roofline {:.1}",
+                    p.kernel,
+                    dev.name,
+                    p.model_tflops,
+                    ceiling
+                );
+            }
+        }
+    }
+
+    /// The §3.2 observation: on H100, k = 64 syr2k is memory-bound far
+    /// below peak; on the 4090 the same shape is compute-bound.
+    #[test]
+    fn h100_vs_4090_boundedness() {
+        let h = Device::h100();
+        let r = Device::rtx4090();
+        let ai = syr2k_ai(32768, 64);
+        assert!(bound(&h, ai) < h.fp64_peak_tflops, "H100 memory-bound");
+        assert!(
+            bound(&r, ai) >= r.fp64_peak_tflops,
+            "4090 compute-bound at the same shape"
+        );
+    }
+
+    /// Dimension-k growth moves syr2k from memory-bound to compute-bound on
+    /// H100 — the mechanism behind Table 1 and the whole DBBR idea.
+    #[test]
+    fn k_moves_syr2k_across_the_ridge() {
+        let h = Device::h100();
+        let ridge = h.fp64_peak_tflops / h.mem_bw_tbs; // flops/byte at the ridge
+        assert!(syr2k_ai(32768, 16) < ridge);
+        assert!(syr2k_ai(32768, 128) > ridge * 0.9);
+        assert!(syr2k_ai(32768, 1024) > ridge);
+    }
+}

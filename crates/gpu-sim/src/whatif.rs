@@ -1,0 +1,111 @@
+//! What-if device exploration: how the paper's pipeline scales as GPU
+//! parameters move.
+//!
+//! The interesting question the model can answer that the paper's testbed
+//! cannot: which hardware lever most helps each stage? DBBR's trailing
+//! update is compute-bound (FP64 peak), its ZY `symm` and the bulge
+//! chasing are bandwidth/latency-bound, and the CPU baselines don't scale
+//! at all. These functions perturb one device parameter at a time and
+//! recompose the pipeline.
+
+use crate::compose;
+use crate::device::Device;
+use serde::Serialize;
+
+/// One what-if scenario result.
+#[derive(Serialize, Clone, Debug)]
+pub struct WhatIfRow {
+    pub scenario: String,
+    pub stage1_s: f64,
+    pub bc_s: f64,
+    pub total_s: f64,
+    pub speedup_vs_base: f64,
+}
+
+/// Scales selected parameters of a device.
+pub fn scaled_device(base: &Device, peak_mul: f64, bw_mul: f64, sm_mul: f64) -> Device {
+    let mut d = base.clone();
+    d.fp64_peak_tflops *= peak_mul;
+    d.mem_bw_tbs *= bw_mul;
+    d.sm_count = ((d.sm_count as f64) * sm_mul).round() as usize;
+    if let Some(x) = d.int8_dgemm_tflops.as_mut() {
+        *x *= peak_mul;
+    }
+    d
+}
+
+/// Evaluates the proposed pipeline under single-parameter scalings.
+pub fn sweep(base: &Device, n: usize) -> Vec<WhatIfRow> {
+    let scenarios: Vec<(String, Device)> = vec![
+        ("baseline".into(), base.clone()),
+        ("2x FP64 peak".into(), scaled_device(base, 2.0, 1.0, 1.0)),
+        ("2x memory bandwidth".into(), scaled_device(base, 1.0, 2.0, 1.0)),
+        ("2x SM count".into(), scaled_device(base, 1.0, 1.0, 2.0)),
+        ("2x everything".into(), scaled_device(base, 2.0, 2.0, 2.0)),
+    ];
+    let (bs, bb) = compose::tridiag_ours(base, n, 32, 1024);
+    let base_total = bs + bb;
+    scenarios
+        .into_iter()
+        .map(|(name, dev)| {
+            let (s1, bc) = compose::tridiag_ours(&dev, n, 32, 1024);
+            WhatIfRow {
+                scenario: name,
+                stage1_s: s1,
+                bc_s: bc,
+                total_s: s1 + bc,
+                speedup_vs_base: base_total / (s1 + bc),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_hardware_never_hurts() {
+        let rows = sweep(&Device::h100(), 49152);
+        let base = rows[0].total_s;
+        for r in &rows[1..] {
+            assert!(
+                r.total_s <= base * 1.001,
+                "'{}' slower than baseline: {} vs {base}",
+                r.scenario,
+                r.total_s
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_helps_stage1_more_than_peak() {
+        // stage 1 is dominated by the memory/latency-bound symm at b = 32,
+        // so doubling bandwidth beats doubling FP64 peak
+        let rows = sweep(&Device::h100(), 49152);
+        let peak = rows.iter().find(|r| r.scenario.contains("FP64")).unwrap();
+        let bw = rows.iter().find(|r| r.scenario.contains("bandwidth")).unwrap();
+        assert!(
+            bw.stage1_s < peak.stage1_s,
+            "bw {} vs peak {}",
+            bw.stage1_s,
+            peak.stage1_s
+        );
+    }
+
+    #[test]
+    fn sm_count_helps_bc() {
+        // more SMs ⇒ more parallel sweeps ⇒ faster bulge chasing
+        let rows = sweep(&Device::h100(), 65536);
+        let base = &rows[0];
+        let sm = rows.iter().find(|r| r.scenario.contains("SM")).unwrap();
+        assert!(sm.bc_s < base.bc_s * 0.95, "{} vs {}", sm.bc_s, base.bc_s);
+    }
+
+    #[test]
+    fn doubling_everything_compounds() {
+        let rows = sweep(&Device::h100(), 49152);
+        let all = rows.iter().find(|r| r.scenario.contains("everything")).unwrap();
+        assert!(all.speedup_vs_base > 1.5);
+    }
+}

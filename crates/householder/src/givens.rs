@@ -1,0 +1,93 @@
+//! Givens plane rotations (`dlartg` analogue).
+//!
+//! The rotation `G = [[c, s], [−s, c]]` is chosen so that
+//! `Gᵀ [a, b]ᵀ = [r, 0]ᵀ`. Used by the Givens tridiagonalization baseline
+//! and available to downstream band algorithms.
+
+/// A plane rotation: `c = cos θ`, `s = sin θ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Givens {
+    pub c: f64,
+    pub s: f64,
+    /// `r = ±√(a² + b²)`, the value that replaces `a`.
+    pub r: f64,
+}
+
+/// Computes the rotation annihilating `b` against `a` (overflow-safe).
+pub fn make_givens(a: f64, b: f64) -> Givens {
+    if b == 0.0 {
+        return Givens { c: 1.0, s: 0.0, r: a };
+    }
+    if a == 0.0 {
+        return Givens { c: 0.0, s: 1.0, r: b };
+    }
+    let scale = a.abs().max(b.abs());
+    let (an, bn) = (a / scale, b / scale);
+    let r = scale * (an * an + bn * bn).sqrt() * a.signum();
+    Givens {
+        c: a / r,
+        s: b / r,
+        r,
+    }
+}
+
+impl Givens {
+    /// Applies `Gᵀ` to the element pair `(x, y)`:
+    /// `(c·x + s·y, −s·x + c·y)`.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.c * x + self.s * y, -self.s * x + self.c * y)
+    }
+
+    /// Applies the rotation to two rows of equal-length slices.
+    pub fn apply_rows(&self, x: &mut [f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+            let (nx, ny) = self.apply(*xi, *yi);
+            *xi = nx;
+            *yi = ny;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annihilates_second_component() {
+        for (a, b) in [(3.0, 4.0), (-1.0, 2.0), (1e-300, 1e-300), (5.0, 0.0), (0.0, 2.0)] {
+            let g = make_givens(a, b);
+            let (r, z) = g.apply(a, b);
+            assert!((r - g.r).abs() <= 1e-12 * g.r.abs().max(1e-300), "r for ({a},{b})");
+            assert!(z.abs() <= 1e-12 * g.r.abs().max(1e-300), "z for ({a},{b})");
+            // orthogonality: c² + s² = 1
+            assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn preserves_norms() {
+        let g = make_givens(0.3, -0.7);
+        let (x, y) = (1.5, -2.5);
+        let (nx, ny) = g.apply(x, y);
+        assert!((nx * nx + ny * ny - (x * x + y * y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_safe() {
+        let g = make_givens(1e300, 1e300);
+        assert!(g.r.is_finite());
+        assert!((g.c - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_application() {
+        let g = make_givens(1.0, 1.0);
+        let mut x = vec![1.0, 0.0];
+        let mut y = vec![1.0, 2.0];
+        g.apply_rows(&mut x, &mut y);
+        assert!((x[0] - 2.0f64.sqrt()).abs() < 1e-14);
+        assert!(y[0].abs() < 1e-14);
+    }
+}

@@ -1,0 +1,24 @@
+//! # tg-householder
+//!
+//! Householder machinery shared by every reduction algorithm in the
+//! workspace:
+//!
+//! * [`reflector`] — elementary reflectors (`dlarfg`/`dlarf` analogues),
+//! * [`wy`] — compact-WY block representation (`dlarft`/`dlarfb`),
+//! * [`panel`] — unblocked and blocked panel QR (`dgeqr2`/`dgeqrf`),
+//! * [`zy`] — the ZY representation used in two-sided band-reduction
+//!   updates (Equation 1 of the paper),
+//! * [`wblock`] — `W`-matrix accumulation: the paper's recursive
+//!   Algorithm 3 and the incremental batched merge of Figure 13.
+
+pub mod givens;
+pub mod panel;
+pub mod reflector;
+pub mod wblock;
+pub mod wy;
+pub mod zy;
+
+pub use givens::{make_givens, Givens};
+pub use panel::{panel_qr, PanelQr};
+pub use reflector::{apply_left, apply_right, apply_two_sided_lower, make_reflector, Reflector};
+pub use wy::WyBlock;

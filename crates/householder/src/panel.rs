@@ -1,0 +1,245 @@
+//! Panel QR factorization — the `PanelQR` step of Figure 2 / Algorithm 1.
+//!
+//! [`geqr2`] is the unblocked in-place factorization (LAPACK `dgeqr2`);
+//! [`panel_qr`] wraps it and returns the compact-WY block, leaving `R` in
+//! the panel's upper triangle; [`geqrf_blocked`] is a full blocked QR used
+//! in tests to validate WY application machinery end-to-end.
+
+use crate::reflector::{apply_left, make_reflector};
+use crate::wy::WyBlock;
+use tg_matrix::{Mat, MatMut};
+
+/// Unblocked in-place QR of an `m × k` panel (`m ≥ k`): on return the upper
+/// triangle holds `R`, the strict lower trapezoid holds the reflector tails,
+/// and `taus` holds the `τ`s.
+pub fn geqr2(a: &mut MatMut<'_>, taus: &mut [f64]) {
+    let m = a.nrows();
+    let k = a.ncols();
+    let kr = m.min(k); // number of reflectors (wide panels allowed)
+    assert_eq!(taus.len(), kr);
+    for j in 0..kr {
+        // reflector from A[j.., j]
+        let r = {
+            let col = a.col_mut(j);
+            make_reflector(&mut col[j..])
+        };
+        taus[j] = r.tau;
+        if j + 1 < k {
+            // apply to trailing columns A[j.., j+1..]
+            // (split borrows: copy the tail of v out — length ≤ m, panel-local)
+            let v_tail: Vec<f64> = a.col(j)[j + 1..].to_vec();
+            let mut trail = a.rb_mut().submatrix_mut(j, j + 1, m - j, k - j - 1);
+            apply_left(r.tau, &v_tail, &mut trail);
+        }
+        *a.at_mut(j, j) = r.beta;
+    }
+}
+
+/// Result of [`panel_qr`].
+pub struct PanelQr {
+    /// Compact-WY block for `Q = H₁⋯H_kr = I − V T Vᵀ`
+    /// (`kr = min(m, k)` reflectors).
+    pub block: WyBlock,
+    /// The `kr × k` upper-trapezoidal `R` factor.
+    pub r: Mat,
+}
+
+/// QR-factorizes the panel in place and returns the WY block plus `R`.
+///
+/// The panel is overwritten like `dgeqrf` (R above, reflectors below);
+/// the returned `V` is an explicit unit-lower-trapezoidal copy. Wide panels
+/// (`m < k`) produce `m` reflectors and an upper-trapezoidal `R`.
+pub fn panel_qr(panel: &mut MatMut<'_>) -> PanelQr {
+    let m = panel.nrows();
+    let k = panel.ncols();
+    let kr = m.min(k);
+    let mut taus = vec![0.0; kr];
+    geqr2(panel, &mut taus);
+    // explicit V
+    let mut v = Mat::zeros(m, kr);
+    for j in 0..kr {
+        v[(j, j)] = 1.0;
+        let col = panel.col(j);
+        for i in (j + 1)..m {
+            v[(i, j)] = col[i];
+        }
+    }
+    let mut r = Mat::zeros(kr, k);
+    for j in 0..k {
+        for i in 0..=j.min(kr - 1) {
+            r[(i, j)] = panel.at(i, j);
+        }
+    }
+    PanelQr {
+        block: WyBlock::from_v_taus(v, &taus),
+        r,
+    }
+}
+
+/// Blocked QR of a full `m × n` matrix (`m ≥ n`), returning one WY block per
+/// panel. Block `i` acts on rows `i·nb ..` of the matrix.
+pub fn geqrf_blocked(a: &mut Mat, nb: usize) -> Vec<WyBlock> {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m >= n);
+    let mut blocks = Vec::with_capacity(n.div_ceil(nb));
+    let mut j = 0;
+    while j < n {
+        let w = nb.min(n - j);
+        let pq = {
+            let mut panel = a.view_mut(j, j, m - j, w);
+            panel_qr(&mut panel)
+        };
+        if j + w < n {
+            let mut trail = a.view_mut(j, j + w, m - j, n - j - w);
+            pq.block.apply_left(&mut trail, true); // C ← Qᵀ C
+        }
+        blocks.push(pq.block);
+        j += w;
+    }
+    blocks
+}
+
+/// Materializes `Q` from the blocks of [`geqrf_blocked`] (`Q = Q₁ Q₂ ⋯`).
+pub fn form_q(m: usize, blocks: &[WyBlock], nb: usize) -> Mat {
+    let mut q = Mat::identity(m);
+    for (i, blk) in blocks.iter().enumerate().rev() {
+        let off = i * nb;
+        let mut sub = q.view_mut(off, 0, m - off, m);
+        blk.apply_left(&mut sub, false);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_blas::{gemm, Op};
+    use tg_matrix::{gen, max_abs_diff, orthogonality_residual};
+
+    fn check_qr(m: usize, n: usize, nb: usize, seed: u64) {
+        let a0 = gen::random(m, n, seed);
+        let mut a = a0.clone();
+        let blocks = geqrf_blocked(&mut a, nb);
+        let q = form_q(m, &blocks, nb);
+        assert!(orthogonality_residual(&q) < 1e-13, "Q orthogonality");
+        // R = upper triangle of the factored matrix
+        let r = Mat::from_fn(m, n, |i, j| if i <= j { a[(i, j)] } else { 0.0 });
+        // A ?= Q R
+        let mut qr = Mat::zeros(m, n);
+        gemm(
+            1.0,
+            &q.as_ref(),
+            Op::NoTrans,
+            &r.as_ref(),
+            Op::NoTrans,
+            0.0,
+            &mut qr.as_mut(),
+        );
+        assert!(
+            max_abs_diff(&qr, &a0) < 1e-12 * (m as f64),
+            "A = QR failed for {m}x{n} nb={nb}"
+        );
+    }
+
+    #[test]
+    fn unblocked_panel_reconstructs() {
+        let m = 9;
+        let k = 4;
+        let a0 = gen::random(m, k, 21);
+        let mut a = a0.clone();
+        let pq = {
+            let mut v = a.as_mut();
+            panel_qr(&mut v)
+        };
+        // A = Q [R; 0]
+        let q = pq.block.to_q();
+        let mut rfull = Mat::zeros(m, k);
+        for j in 0..k {
+            for i in 0..=j {
+                rfull[(i, j)] = pq.r[(i, j)];
+            }
+        }
+        let mut qr = Mat::zeros(m, k);
+        gemm(
+            1.0,
+            &q.as_ref(),
+            Op::NoTrans,
+            &rfull.as_ref(),
+            Op::NoTrans,
+            0.0,
+            &mut qr.as_mut(),
+        );
+        assert!(max_abs_diff(&qr, &a0) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_qr_various_shapes() {
+        check_qr(12, 12, 4, 30);
+        check_qr(20, 8, 3, 31); // ragged blocks
+        check_qr(15, 15, 16, 32); // single block
+        check_qr(7, 1, 2, 33); // single column
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_expected_norms() {
+        // QR of an orthogonal matrix gives R = diag(±1)
+        let q0 = gen::random_orthogonal(8, 40);
+        let mut a = q0.clone();
+        let _ = geqrf_blocked(&mut a, 3);
+        for j in 0..8 {
+            assert!((a[(j, j)].abs() - 1.0).abs() < 1e-12, "diag {j}");
+            // below-diagonal holds reflector tails, not R — only check above
+            for i in 0..j {
+                // R's strictly-upper part of an orthogonal input ~ 0
+                assert!(a[(i, j)].abs() < 1e-12, "upper ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_panel_qr() {
+        // m < k: kr = m reflectors, R upper-trapezoidal, A = Q [R]
+        let m = 3;
+        let k = 5;
+        let a0 = gen::random(m, k, 90);
+        let mut a = a0.clone();
+        let pq = {
+            let mut v = a.as_mut();
+            panel_qr(&mut v)
+        };
+        assert_eq!(pq.block.k(), m);
+        assert_eq!(pq.r.nrows(), m);
+        assert_eq!(pq.r.ncols(), k);
+        let q = pq.block.to_q();
+        assert!(orthogonality_residual(&q) < 1e-13);
+        let mut qr = Mat::zeros(m, k);
+        gemm(
+            1.0,
+            &q.as_ref(),
+            Op::NoTrans,
+            &pq.r.as_ref(),
+            Op::NoTrans,
+            0.0,
+            &mut qr.as_mut(),
+        );
+        assert!(max_abs_diff(&qr, &a0) < 1e-12);
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_panel_is_stable() {
+        // two identical columns: R[1,1] ≈ 0, no NaNs
+        let m = 6;
+        let mut a = Mat::zeros(m, 2);
+        for i in 0..m {
+            a[(i, 0)] = (i + 1) as f64;
+            a[(i, 1)] = (i + 1) as f64;
+        }
+        let pq = {
+            let mut v = a.as_mut();
+            panel_qr(&mut v)
+        };
+        assert!(pq.r[(1, 1)].abs() < 1e-12);
+        assert!(pq.block.to_q().as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,243 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the LAPACK formulations
+//! Elementary Householder reflectors (LAPACK `dlarfg` / `dlarf` analogues).
+//!
+//! A reflector is `H = I − τ v vᵀ` with `v[0] = 1`; `H` is orthogonal and
+//! symmetric, and is constructed so that `H x = β e₁` for a given `x`.
+
+use tg_blas::level1::{axpy, dot, nrm2};
+use tg_matrix::MatMut;
+
+/// Result of [`make_reflector`]: `H = I − τ v vᵀ` maps the input to `β e₁`.
+#[derive(Clone, Debug)]
+pub struct Reflector {
+    /// Scaling factor `τ` (0 means `H = I`).
+    pub tau: f64,
+    /// The value `β = (Hx)[0]` (i.e. `±‖x‖`).
+    pub beta: f64,
+}
+
+/// Builds the reflector annihilating `x[1..]`, overwriting `x[1..]` with the
+/// tail of `v` (with `v[0] = 1` implicit) — exactly like `dlarfg`.
+///
+/// On return `x[0]` is **unchanged** (callers usually overwrite it with
+/// `beta` themselves, mirroring the in-place panel convention).
+pub fn make_reflector(x: &mut [f64]) -> Reflector {
+    let n = x.len();
+    if n == 0 {
+        return Reflector { tau: 0.0, beta: 0.0 };
+    }
+    let alpha = x[0];
+    let xnorm = nrm2(&x[1..]);
+    if xnorm == 0.0 {
+        // already of the form β e₁
+        return Reflector { tau: 0.0, beta: alpha };
+    }
+    let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for xi in &mut x[1..] {
+        *xi *= scale;
+    }
+    Reflector { tau, beta }
+}
+
+/// Applies `H = I − τ v vᵀ` from the **left**: `C ← H C`.
+///
+/// `v` has implicit `v[0] = 1`; `v_tail` is `v[1..]` and `C` has
+/// `v_tail.len() + 1` rows.
+pub fn apply_left(tau: f64, v_tail: &[f64], c: &mut MatMut<'_>) {
+    if tau == 0.0 {
+        return;
+    }
+    let m = c.nrows();
+    assert_eq!(v_tail.len() + 1, m);
+    for j in 0..c.ncols() {
+        let col = c.col_mut(j);
+        // w = vᵀ c_j
+        let w = col[0] + dot(v_tail, &col[1..]);
+        // c_j ← c_j − τ w v
+        col[0] -= tau * w;
+        axpy(-tau * w, v_tail, &mut col[1..]);
+    }
+}
+
+/// Applies `H` from the **right**: `C ← C H`.
+///
+/// `C` has `v_tail.len() + 1` columns.
+pub fn apply_right(tau: f64, v_tail: &[f64], c: &mut MatMut<'_>) {
+    if tau == 0.0 {
+        return;
+    }
+    let n = c.ncols();
+    assert_eq!(v_tail.len() + 1, n);
+    let m = c.nrows();
+    // w = C v  (length m)
+    let mut w = c.col(0).to_vec();
+    for j in 1..n {
+        axpy(v_tail[j - 1], c.col(j), &mut w);
+    }
+    // C ← C − τ w vᵀ
+    for i in 0..m {
+        let t = tau * w[i];
+        *c.at_mut(i, 0) -= t;
+    }
+    for j in 1..n {
+        let s = tau * v_tail[j - 1];
+        if s != 0.0 {
+            let col = c.col_mut(j);
+            for i in 0..m {
+                col[i] -= s * w[i];
+            }
+        }
+    }
+}
+
+/// Applies `H` two-sidedly to a **full dense symmetric** block: `A ← H A H`
+/// (note `H` symmetric, so this is the similarity transform `Hᵀ A H`).
+///
+/// Uses the rank-2 form `A ← A − v wᵀ − w vᵀ` with
+/// `w = τ(Av − (τ/2)(vᵀAv)v)`, touching only the lower triangle.
+pub fn apply_two_sided_lower(tau: f64, v_tail: &[f64], a: &mut MatMut<'_>) {
+    if tau == 0.0 {
+        return;
+    }
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    assert_eq!(v_tail.len() + 1, n);
+    // v with the implicit leading 1
+    let mut v = Vec::with_capacity(n);
+    v.push(1.0);
+    v.extend_from_slice(v_tail);
+    // p = τ A v (symmetric, lower stored)
+    let mut p = vec![0.0; n];
+    tg_blas::level2::symv_lower(tau, &a.rb(), &v, 0.0, &mut p);
+    // w = p − (τ/2)(pᵀv) v
+    let c = 0.5 * tau * dot(&p, &v);
+    let mut w = p;
+    axpy(-c, &v, &mut w);
+    // A ← A − v wᵀ − w vᵀ  (lower triangle)
+    tg_blas::level2::syr2_lower(-1.0, &v, &w, a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_matrix::{gen, Mat};
+
+    fn explicit_h(tau: f64, v_tail: &[f64]) -> Mat {
+        let n = v_tail.len() + 1;
+        let mut v = vec![1.0];
+        v.extend_from_slice(v_tail);
+        Mat::from_fn(n, n, |i, j| {
+            (if i == j { 1.0 } else { 0.0 }) - tau * v[i] * v[j]
+        })
+    }
+
+    #[test]
+    fn reflector_annihilates() {
+        let mut x = vec![3.0, 4.0, 0.0, 12.0];
+        let orig = x.clone();
+        let r = make_reflector(&mut x);
+        // ‖x‖ = 13, β = −sign(3)·13 = −13
+        assert!((r.beta + 13.0).abs() < 1e-12);
+        // verify H x = β e₁ explicitly
+        let h = explicit_h(r.tau, &x[1..]);
+        for i in 0..4 {
+            let mut s = 0.0;
+            for j in 0..4 {
+                s += h[(i, j)] * orig[j];
+            }
+            let expect = if i == 0 { r.beta } else { 0.0 };
+            assert!((s - expect).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn reflector_is_orthogonal() {
+        let mut x = vec![-1.0, 2.0, -3.0, 4.0, -5.0];
+        let r = make_reflector(&mut x);
+        let h = explicit_h(r.tau, &x[1..]);
+        assert!(tg_matrix::orthogonality_residual(&h) < 1e-14);
+    }
+
+    #[test]
+    fn zero_tail_gives_identity() {
+        let mut x = vec![5.0, 0.0, 0.0];
+        let r = make_reflector(&mut x);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.beta, 5.0);
+    }
+
+    #[test]
+    fn apply_left_matches_explicit() {
+        let mut x = vec![1.0, 0.5, -2.0];
+        let r = make_reflector(&mut x);
+        let v_tail = x[1..].to_vec();
+        let h = explicit_h(r.tau, &v_tail);
+        let c0 = gen::random(3, 4, 1);
+        let mut c = c0.clone();
+        apply_left(r.tau, &v_tail, &mut c.as_mut());
+        for j in 0..4 {
+            for i in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += h[(i, k)] * c0[(k, j)];
+                }
+                assert!((c[(i, j)] - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_right_matches_explicit() {
+        let mut x = vec![2.0, -1.0, 1.0, 3.0];
+        let r = make_reflector(&mut x);
+        let v_tail = x[1..].to_vec();
+        let h = explicit_h(r.tau, &v_tail);
+        let c0 = gen::random(2, 4, 2);
+        let mut c = c0.clone();
+        apply_right(r.tau, &v_tail, &mut c.as_mut());
+        for j in 0..4 {
+            for i in 0..2 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += c0[(i, k)] * h[(k, j)];
+                }
+                assert!((c[(i, j)] - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_sided_matches_explicit() {
+        let n = 6;
+        let a0 = gen::random_symmetric(n, 3);
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 0.3 - 1.0).collect();
+        let r = make_reflector(&mut x);
+        let v_tail = x[1..].to_vec();
+        let h = explicit_h(r.tau, &v_tail);
+        let mut a = a0.clone();
+        apply_two_sided_lower(r.tau, &v_tail, &mut a.as_mut());
+        a.mirror_lower();
+        // expect H A H
+        let mut ah = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a0[(i, k)] * h[(k, j)];
+                }
+                ah[(i, j)] = s;
+            }
+        }
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += h[(i, k)] * ah[(k, j)];
+                }
+                assert!((a[(i, j)] - s).abs() < 1e-11, "({i},{j})");
+            }
+        }
+    }
+}

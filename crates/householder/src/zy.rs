@@ -1,0 +1,112 @@
+//! ZY representation for two-sided symmetric updates (Equation 1).
+//!
+//! After a panel QR produces `Q = I − W Yᵀ`, the similarity transform of the
+//! symmetric trailing matrix `A ← Qᵀ A Q` can be written as a rank-2k update
+//!
+//! ```text
+//! Z  = A W − ½ Y (Wᵀ A W)
+//! A ← A − Z Yᵀ − Y Zᵀ            (syr2k!)
+//! ```
+//!
+//! which is the entire reason two-stage tridiagonalization is BLAS-3 rich.
+
+use tg_blas::level3::symm_lower;
+use tg_blas::{gemm, gemm_into, Op};
+use tg_matrix::{Mat, MatRef};
+
+/// Computes `Z = A W − ½ Y (Wᵀ A W)` where `A` is symmetric (lower triangle
+/// referenced), `W`, `Y` are `n × k`.
+pub fn compute_z(a: &MatRef<'_>, w: &MatRef<'_>, y: &MatRef<'_>) -> Mat {
+    let n = a.nrows();
+    let k = w.ncols();
+    assert_eq!(a.ncols(), n);
+    assert_eq!(w.nrows(), n);
+    assert_eq!(y.nrows(), n);
+    assert_eq!(y.ncols(), k);
+    // U = A W
+    let mut u = Mat::zeros(n, k);
+    symm_lower(1.0, a, w, 0.0, &mut u.as_mut());
+    // S = Wᵀ U (k × k, symmetric)
+    let s = gemm_into(1.0, w, Op::Trans, &u.as_ref(), Op::NoTrans);
+    // Z = U − ½ Y S
+    gemm(
+        -0.5,
+        y,
+        Op::NoTrans,
+        &s.as_ref(),
+        Op::NoTrans,
+        1.0,
+        &mut u.as_mut(),
+    );
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_blas::syr2k_blocked;
+    use tg_matrix::{gen, max_abs_diff};
+
+    /// The contract of the ZY trick: `A − Z Yᵀ − Y Zᵀ == Qᵀ A Q` with
+    /// `Q = I − W Yᵀ` orthogonal.
+    #[test]
+    fn zy_update_equals_two_sided_transform() {
+        let n = 10;
+        let k = 3;
+        let a = gen::random_symmetric(n, 50);
+
+        // build a genuine orthogonal Q = I − V T Vᵀ from a panel QR
+        let mut panel = gen::random(n, k, 51);
+        let pq = {
+            let mut v = panel.as_mut();
+            crate::panel::panel_qr(&mut v)
+        };
+        let yv = pq.block.v.clone();
+        let w = pq.block.w();
+
+        let z = compute_z(&a.as_ref(), &w.as_ref(), &yv.as_ref());
+
+        // path 1: syr2k update of the lower triangle
+        let mut a1 = a.clone();
+        syr2k_blocked(-1.0, &z.as_ref(), &yv.as_ref(), 1.0, &mut a1.as_mut(), 4);
+        a1.mirror_lower();
+
+        // path 2: explicit Qᵀ A Q
+        let q = pq.block.to_q();
+        let aq = gemm_into(1.0, &a.as_ref(), Op::NoTrans, &q.as_ref(), Op::NoTrans);
+        let a2 = gemm_into(1.0, &q.as_ref(), Op::Trans, &aq.as_ref(), Op::NoTrans);
+
+        assert!(
+            max_abs_diff(&a1, &a2) < 1e-11,
+            "ZY update disagrees with explicit transform: {}",
+            max_abs_diff(&a1, &a2)
+        );
+    }
+
+    #[test]
+    fn z_shape_and_symmetric_midterm() {
+        let n = 8;
+        let k = 2;
+        let a = gen::random_symmetric(n, 60);
+        let w = gen::random(n, k, 61);
+        let y = gen::random(n, k, 62);
+        let z = compute_z(&a.as_ref(), &w.as_ref(), &y.as_ref());
+        assert_eq!(z.nrows(), n);
+        assert_eq!(z.ncols(), k);
+        // check against naive formula
+        let full = a.clone();
+        let u = gemm_into(1.0, &full.as_ref(), Op::NoTrans, &w.as_ref(), Op::NoTrans);
+        let s = gemm_into(1.0, &w.as_ref(), Op::Trans, &u.as_ref(), Op::NoTrans);
+        let mut expect = u.clone();
+        gemm(
+            -0.5,
+            &y.as_ref(),
+            Op::NoTrans,
+            &s.as_ref(),
+            Op::NoTrans,
+            1.0,
+            &mut expect.as_mut(),
+        );
+        assert!(max_abs_diff(&z, &expect) < 1e-11);
+    }
+}

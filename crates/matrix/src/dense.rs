@@ -1,0 +1,572 @@
+//! Dense column-major matrices and borrowed views.
+//!
+//! [`Mat`] owns its storage; [`MatRef`] / [`MatMut`] are borrowed views with
+//! an explicit leading dimension so that sub-matrices of a larger matrix can
+//! be handed to kernels without copying — the same convention LAPACK uses.
+//!
+//! Hot kernels should obtain whole columns via [`MatRef::col`] /
+//! [`MatMut::col_mut`] and iterate over the returned slices; that lets the
+//! compiler elide bounds checks in inner loops.
+
+use std::fmt;
+
+/// An owning, column-major `rows × cols` matrix of `f64`.
+///
+/// The leading dimension of an owned matrix always equals `rows`.
+///
+/// ```
+/// use tg_matrix::Mat;
+///
+/// let mut a = Mat::zeros(3, 3);
+/// a[(0, 2)] = 5.0;
+/// assert_eq!(a.transpose()[(2, 0)], 5.0);
+/// // sub-matrix views share storage
+/// let v = a.view(0, 1, 2, 2);
+/// assert_eq!(v.at(0, 1), 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from column-major data. Panics if the length is wrong.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data (convenient in tests).
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Mat::from_fn(rows, cols, |i, j| data[i * cols + j])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow as an immutable view covering the whole matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.rows,
+            data: &self.data,
+        }
+    }
+
+    /// Borrow as a mutable view covering the whole matrix.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.rows,
+            data: &mut self.data,
+        }
+    }
+
+    /// Immutable sub-matrix view of shape `nr × nc` anchored at `(r0, c0)`.
+    #[inline]
+    pub fn view(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'_> {
+        self.as_ref().submatrix(r0, c0, nr, nc)
+    }
+
+    /// Mutable sub-matrix view of shape `nr × nc` anchored at `(r0, c0)`.
+    #[inline]
+    pub fn view_mut(&mut self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'_> {
+        self.as_mut().submatrix_mut(r0, c0, nr, nc)
+    }
+
+    /// The underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying column-major storage, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a mutable slice of length `rows`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Returns the transposed matrix (copy).
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Fills the matrix with a constant.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Copies `other` into `self`. Shapes must match.
+    pub fn copy_from(&mut self, other: &MatRef<'_>) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.as_mut().copy_from(other);
+    }
+
+    /// Symmetrizes in place from the lower triangle: `A[i][j] = A[j][i]` for `i < j`.
+    pub fn mirror_lower(&mut self) {
+        assert_eq!(self.rows, self.cols);
+        for j in 0..self.cols {
+            for i in (j + 1)..self.rows {
+                let v = self[(i, j)];
+                self[(j, i)] = v;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let rmax = self.rows.min(8);
+        let cmax = self.cols.min(8);
+        for i in 0..rmax {
+            write!(f, "  ")?;
+            for j in 0..cmax {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if cmax < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if rmax < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Immutable borrowed view of a column-major matrix with leading dimension `ld`.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    /// `data[j*ld + i]` is element `(i, j)`; the slice covers at least
+    /// `(cols-1)*ld + rows` elements.
+    data: &'a [f64],
+}
+
+impl<'a> MatRef<'a> {
+    /// Constructs a view from raw parts. Panics if the slice is too short.
+    pub fn from_parts(rows: usize, cols: usize, ld: usize, data: &'a [f64]) -> Self {
+        assert!(ld >= rows.max(1));
+        if rows > 0 && cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows, "slice too short");
+        }
+        MatRef {
+            rows,
+            cols,
+            ld,
+            data,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Column `j` as a slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Sub-matrix view anchored at `(r0, c0)` with shape `nr × nc`.
+    #[inline]
+    pub fn submatrix(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a> {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view oob");
+        // empty views of an empty buffer must not index past the end
+        let off = if nr > 0 && nc > 0 { c0 * self.ld + r0 } else { 0 };
+        let end = if nr > 0 && nc > 0 {
+            off + (nc - 1) * self.ld + nr
+        } else {
+            off
+        };
+        MatRef {
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+            data: &self.data[off..end.max(off)],
+        }
+    }
+
+    /// Copies this view into a fresh owned matrix.
+    pub fn to_mat(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            m.col_mut(j).copy_from_slice(self.col(j));
+        }
+        m
+    }
+}
+
+/// Mutable borrowed view of a column-major matrix with leading dimension `ld`.
+pub struct MatMut<'a> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    data: &'a mut [f64],
+}
+
+impl<'a> MatMut<'a> {
+    /// Constructs a view from raw parts. Panics if the slice is too short.
+    pub fn from_parts(rows: usize, cols: usize, ld: usize, data: &'a mut [f64]) -> Self {
+        assert!(ld >= rows.max(1));
+        if rows > 0 && cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows, "slice too short");
+        }
+        MatMut {
+            rows,
+            cols,
+            ld,
+            data,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.ld + i]
+    }
+
+    /// Column `j` as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Column `j` as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Reborrows: a shorter-lived mutable view of the same region.
+    #[inline]
+    pub fn rb_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Reborrows immutably.
+    #[inline]
+    pub fn rb(&self) -> MatRef<'_> {
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Mutable sub-matrix view anchored at `(r0, c0)` with shape `nr × nc`.
+    #[inline]
+    pub fn submatrix_mut(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a> {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view oob");
+        // empty views of an empty buffer must not index past the end
+        let off = if nr > 0 && nc > 0 { c0 * self.ld + r0 } else { 0 };
+        let end = if nr > 0 && nc > 0 {
+            off + (nc - 1) * self.ld + nr
+        } else {
+            off
+        };
+        MatMut {
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+            data: &mut self.data[off..end.max(off)],
+        }
+    }
+
+    /// Splits into two disjoint mutable column blocks: `[.., :j]` and `[.., j:]`.
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(j <= self.cols);
+        // a view's slice may end before cols*ld (trimmed last column)
+        let mid = (j * self.ld).min(self.data.len());
+        let (left, right) = self.data.split_at_mut(mid);
+        (
+            MatMut {
+                rows: self.rows,
+                cols: j,
+                ld: self.ld,
+                data: left,
+            },
+            MatMut {
+                rows: self.rows,
+                cols: self.cols - j,
+                ld: self.ld,
+                data: right,
+            },
+        )
+    }
+
+    /// Copies `other` into this view. Shapes must match.
+    pub fn copy_from(&mut self, other: &MatRef<'_>) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for j in 0..self.cols {
+            let src = other.col(j);
+            self.col_mut(j).copy_from_slice(src);
+        }
+    }
+
+    /// Fills with a constant value.
+    pub fn fill(&mut self, v: f64) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(v);
+        }
+    }
+
+    /// Copies this view into a fresh owned matrix.
+    pub fn to_mat(&self) -> Mat {
+        self.rb().to_mat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Mat::zeros(3, 4);
+        assert_eq!(z.nrows(), 3);
+        assert_eq!(z.ncols(), 4);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Mat::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Mat::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        // column-major storage
+        assert_eq!(m.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::from_fn(4, 3, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 4);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn submatrix_view_indices() {
+        let m = Mat::from_fn(5, 5, |i, j| (i + 10 * j) as f64);
+        let v = m.view(1, 2, 3, 2);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.ncols(), 2);
+        assert_eq!(v.at(0, 0), m[(1, 2)]);
+        assert_eq!(v.at(2, 1), m[(3, 3)]);
+        // column slices of a view
+        assert_eq!(v.col(1), &[m[(1, 3)], m[(2, 3)], m[(3, 3)]]);
+    }
+
+    #[test]
+    fn view_mut_writes_through() {
+        let mut m = Mat::zeros(4, 4);
+        {
+            let mut v = m.view_mut(1, 1, 2, 2);
+            *v.at_mut(0, 0) = 7.0;
+            *v.at_mut(1, 1) = 9.0;
+        }
+        assert_eq!(m[(1, 1)], 7.0);
+        assert_eq!(m[(2, 2)], 9.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn split_at_col_disjoint() {
+        let mut m = Mat::from_fn(3, 4, |i, j| (i + j) as f64);
+        let (mut l, mut r) = m.as_mut().split_at_col(2);
+        assert_eq!(l.ncols(), 2);
+        assert_eq!(r.ncols(), 2);
+        *l.at_mut(0, 0) = -1.0;
+        *r.at_mut(0, 0) = -2.0;
+        assert_eq!(m[(0, 0)], -1.0);
+        assert_eq!(m[(0, 2)], -2.0);
+    }
+
+    #[test]
+    fn nested_views() {
+        let m = Mat::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let v1 = m.view(1, 1, 4, 4);
+        let v2 = v1.submatrix(1, 1, 2, 2);
+        assert_eq!(v2.at(0, 0), m[(2, 2)]);
+        assert_eq!(v2.at(1, 1), m[(3, 3)]);
+    }
+
+    #[test]
+    fn mirror_lower_symmetrizes() {
+        let mut m = Mat::from_fn(4, 4, |i, j| if i >= j { (i + 1) as f64 * (j + 1) as f64 } else { -99.0 });
+        m.mirror_lower();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], m[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn copy_from_view() {
+        let src = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let mut dst = Mat::zeros(5, 5);
+        dst.view_mut(1, 1, 3, 3).copy_from(&src.as_ref());
+        assert_eq!(dst[(1, 1)], src[(0, 0)]);
+        assert_eq!(dst[(3, 3)], src[(2, 2)]);
+        assert_eq!(dst[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn to_mat_from_view() {
+        let m = Mat::from_fn(4, 4, |i, j| (i + 100 * j) as f64);
+        let v = m.view(2, 1, 2, 3).to_mat();
+        assert_eq!(v.nrows(), 2);
+        assert_eq!(v.ncols(), 3);
+        assert_eq!(v[(0, 0)], m[(2, 1)]);
+        assert_eq!(v[(1, 2)], m[(3, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn view_out_of_bounds_panics() {
+        let m = Mat::zeros(3, 3);
+        let _ = m.view(1, 1, 3, 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Matrix generators for tests, examples and benchmarks.
+//!
+//! Several generators produce matrices with *known* spectra so eigensolvers
+//! can be validated exactly; the random generators mirror the workloads the
+//! paper benchmarks on (dense random symmetric FP64 matrices).
+
+use crate::dense::Mat;
+use crate::tridiagonal::Tridiagonal;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dense random matrix with i.i.d. entries in `[-1, 1)`.
+pub fn random(n: usize, m: usize, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(-1.0, 1.0);
+    Mat::from_fn(n, m, |_, _| dist.sample(&mut rng))
+}
+
+/// Dense random symmetric matrix with entries in `[-1, 1)`.
+pub fn random_symmetric(n: usize, seed: u64) -> Mat {
+    let mut a = random(n, n, seed);
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let v = a[(i, j)];
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+/// Random symmetric positive-definite matrix `B Bᵀ + n·I`.
+pub fn random_spd(n: usize, seed: u64) -> Mat {
+    let b = random(n, n, seed);
+    let mut a = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += b[(i, k)] * b[(j, k)];
+            }
+            a[(i, j)] = s;
+        }
+    }
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+/// Random symmetric band matrix with bandwidth `kd` (dense representation).
+pub fn random_symmetric_band(n: usize, kd: usize, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(-1.0, 1.0);
+    let mut a = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in j..(j + kd + 1).min(n) {
+            let v = dist.sample(&mut rng);
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+/// Symmetric matrix with a prescribed spectrum: `A = Q diag(λ) Qᵀ` where `Q`
+/// comes from Householder-orthogonalizing a random matrix. The construction
+/// uses explicit Gram-Schmidt, so it is `O(n³)` — test-scale only.
+pub fn with_spectrum(eigs: &[f64], seed: u64) -> Mat {
+    let n = eigs.len();
+    let q = random_orthogonal(n, seed);
+    // A = Q Λ Qᵀ
+    let mut a = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += q[(i, k)] * eigs[k] * q[(j, k)];
+            }
+            a[(i, j)] = s;
+        }
+    }
+    // exact symmetry
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let v = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+/// Random orthogonal matrix via modified Gram-Schmidt on a random matrix.
+pub fn random_orthogonal(n: usize, seed: u64) -> Mat {
+    let mut q = random(n, n, seed);
+    for j in 0..n {
+        for k in 0..j {
+            let mut dot = 0.0;
+            for i in 0..n {
+                dot += q[(i, k)] * q[(i, j)];
+            }
+            for i in 0..n {
+                let t = q[(i, k)];
+                q[(i, j)] -= dot * t;
+            }
+        }
+        let mut nrm = 0.0;
+        for i in 0..n {
+            nrm += q[(i, j)] * q[(i, j)];
+        }
+        let nrm = nrm.sqrt();
+        assert!(nrm > 1e-12, "random matrix was numerically singular");
+        for i in 0..n {
+            q[(i, j)] /= nrm;
+        }
+    }
+    q
+}
+
+/// The `(2, −1)` Toeplitz tridiagonal matrix — the 1-D discrete Laplacian.
+/// Exact eigenvalues: `2 − 2 cos(kπ/(n+1))`, `k = 1..n`.
+pub fn laplacian_1d(n: usize) -> Tridiagonal {
+    Tridiagonal::new(vec![2.0; n], vec![-1.0; n.saturating_sub(1)])
+}
+
+/// Exact (sorted ascending) eigenvalues of [`laplacian_1d`].
+pub fn laplacian_1d_eigs(n: usize) -> Vec<f64> {
+    (1..=n)
+        .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+        .collect()
+}
+
+/// Wilkinson's `W_n⁺` matrix (odd `n`): tridiagonal with pairs of very close
+/// eigenvalues — a classic stress test for tridiagonal eigensolvers.
+pub fn wilkinson(n: usize) -> Tridiagonal {
+    assert!(n % 2 == 1, "Wilkinson W+ is defined for odd n");
+    let m = (n - 1) / 2;
+    let d = (0..n).map(|i| (i as i64 - m as i64).abs() as f64).collect();
+    Tridiagonal::new(d, vec![1.0; n - 1])
+}
+
+/// Tridiagonal matrix with random entries in `[-1, 1)`.
+pub fn random_tridiagonal(n: usize, seed: u64) -> Tridiagonal {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(-1.0f64, 1.0);
+    Tridiagonal::new(
+        (0..n).map(|_| dist.sample(&mut rng)).collect(),
+        (0..n.saturating_sub(1)).map(|_| dist.sample(&mut rng)).collect(),
+    )
+}
+
+/// "Glued" Wilkinson-style matrix: blocks of [`laplacian_1d`] joined by tiny
+/// couplings `g`. Produces heavy deflation in divide & conquer.
+pub fn glued(block: usize, nblocks: usize, g: f64) -> Tridiagonal {
+    let n = block * nblocks;
+    let mut d = vec![2.0; n];
+    let mut e = vec![-1.0; n - 1];
+    for b in 1..nblocks {
+        e[b * block - 1] = g;
+    }
+    // slight diagonal perturbation per block so blocks are not identical
+    for b in 0..nblocks {
+        for i in 0..block {
+            d[b * block + i] += 1e-3 * b as f64;
+        }
+    }
+    Tridiagonal::new(d, e)
+}
+
+/// A 1-D nearest-neighbour tight-binding Hamiltonian with on-site disorder —
+/// the condensed-matter workload class the paper's §7.2 motivates. Hopping
+/// amplitude `t`, disorder strength `w` (uniform in `[-w/2, w/2]`).
+pub fn tight_binding_1d(n: usize, t: f64, w: f64, seed: u64) -> Tridiagonal {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(-0.5, 0.5);
+    Tridiagonal::new(
+        (0..n).map(|_| w * dist.sample(&mut rng)).collect(),
+        vec![-t; n.saturating_sub(1)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::{frob_norm, orthogonality_residual};
+
+    #[test]
+    fn random_symmetric_is_symmetric() {
+        let a = random_symmetric(17, 3);
+        for i in 0..17 {
+            for j in 0..17 {
+                assert_eq!(a[(i, j)], a[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(random(5, 5, 42), random(5, 5, 42));
+        assert_ne!(random(5, 5, 42), random(5, 5, 43));
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let q = random_orthogonal(20, 7);
+        assert!(orthogonality_residual(&q) < 1e-13);
+    }
+
+    #[test]
+    fn with_spectrum_trace_matches() {
+        let eigs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = with_spectrum(&eigs, 11);
+        let tr: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        assert!((tr - 15.0).abs() < 1e-10);
+        // Frobenius norm² = Σ λ²
+        let f = frob_norm(&a);
+        assert!((f * f - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spd_is_positive_definite_by_sturm_on_diag_dominance() {
+        let a = random_spd(10, 5);
+        // diagonally dominant by construction => all leading minors positive
+        for i in 0..10 {
+            let off: f64 = (0..10).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            assert!(a[(i, i)] > off - 1e-9, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn band_generator_respects_band() {
+        let a = random_symmetric_band(12, 3, 9);
+        for j in 0..12usize {
+            for i in 0..12usize {
+                if i.abs_diff(j) > 3 {
+                    assert_eq!(a[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_eigs_sorted_and_in_range() {
+        let e = laplacian_1d_eigs(16);
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+        assert!(e[0] > 0.0 && e[15] < 4.0);
+    }
+
+    #[test]
+    fn wilkinson_shape() {
+        let w = wilkinson(7);
+        assert_eq!(w.d, vec![3.0, 2.0, 1.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(w.e, vec![1.0; 6]);
+    }
+
+    #[test]
+    fn glued_couplings() {
+        let g = glued(4, 3, 1e-8);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.e[3], 1e-8);
+        assert_eq!(g.e[7], 1e-8);
+        assert_eq!(g.e[0], -1.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Matrix Market I/O (a pragmatic subset).
+//!
+//! Supports the formats a symmetric-eigensolver user actually exchanges:
+//!
+//! * `matrix coordinate real symmetric` — sparse lower-triangle entries,
+//! * `matrix coordinate real general` — sparse general entries,
+//! * `matrix array real general` / `symmetric` — dense column-major.
+//!
+//! Reading returns a dense [`Mat`] (this workspace's algorithms are dense /
+//! banded); writing emits the coordinate-symmetric form for symmetric
+//! matrices and array-general otherwise.
+
+use crate::dense::Mat;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    /// Structural problem with the file, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market file into a dense matrix.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Mat, MmError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(f))
+}
+
+/// Reads Matrix Market data from any reader.
+pub fn read_matrix_market_from(r: impl Read) -> Result<Mat, MmError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+
+    // header: %%MatrixMarket matrix <format> <field> <symmetry>
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() < 5 || !toks[0].starts_with("%%matrixmarket") || toks[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    let format = toks[2];
+    let field = toks[3];
+    let symmetry = toks[4];
+    if field != "real" && field != "integer" {
+        return Err(parse_err(format!("unsupported field: {field}")));
+    }
+    let symmetric = match symmetry {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
+
+    // skip comments, find the size line
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|x| x.parse().map_err(|_| parse_err(format!("bad size: {x}"))))
+        .collect::<Result<_, _>>()?;
+
+    match format {
+        "coordinate" => {
+            if dims.len() != 3 {
+                return Err(parse_err("coordinate size line needs rows cols nnz"));
+            }
+            let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+            let mut m = Mat::zeros(rows, cols);
+            let mut seen = 0usize;
+            for line in lines {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                let mut it = t.split_whitespace();
+                let i: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err("short entry"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad row index"))?;
+                let j: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err("short entry"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad col index"))?;
+                let v: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing value"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad value"))?;
+                if i == 0 || j == 0 || i > rows || j > cols {
+                    return Err(parse_err(format!("index out of range: {i} {j}")));
+                }
+                m[(i - 1, j - 1)] = v;
+                if symmetric {
+                    m[(j - 1, i - 1)] = v;
+                }
+                seen += 1;
+            }
+            if seen != nnz {
+                return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+            }
+            Ok(m)
+        }
+        "array" => {
+            if dims.len() != 2 {
+                return Err(parse_err("array size line needs rows cols"));
+            }
+            let (rows, cols) = (dims[0], dims[1]);
+            let mut vals = Vec::with_capacity(rows * cols);
+            for line in lines {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                for tok in t.split_whitespace() {
+                    vals.push(
+                        tok.parse::<f64>()
+                            .map_err(|_| parse_err(format!("bad value: {tok}")))?,
+                    );
+                }
+            }
+            let mut m = Mat::zeros(rows, cols);
+            if symmetric {
+                // column-major lower triangle
+                let expect = rows * (rows + 1) / 2;
+                if vals.len() != expect || rows != cols {
+                    return Err(parse_err("bad symmetric array payload"));
+                }
+                let mut idx = 0;
+                for j in 0..cols {
+                    for i in j..rows {
+                        m[(i, j)] = vals[idx];
+                        m[(j, i)] = vals[idx];
+                        idx += 1;
+                    }
+                }
+            } else {
+                if vals.len() != rows * cols {
+                    return Err(parse_err(format!(
+                        "expected {} values, found {}",
+                        rows * cols,
+                        vals.len()
+                    )));
+                }
+                let mut idx = 0;
+                for j in 0..cols {
+                    for i in 0..rows {
+                        m[(i, j)] = vals[idx];
+                        idx += 1;
+                    }
+                }
+            }
+            Ok(m)
+        }
+        other => Err(parse_err(format!("unsupported format: {other}"))),
+    }
+}
+
+/// Writes a matrix in Matrix Market form: `coordinate real symmetric`
+/// (lower triangle, nonzeros) when `symmetric` is set, else
+/// `array real general`.
+pub fn write_matrix_market(
+    path: impl AsRef<Path>,
+    m: &Mat,
+    symmetric: bool,
+) -> Result<(), MmError> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market_to(BufWriter::new(f), m, symmetric)
+}
+
+/// Writes Matrix Market data to any writer.
+pub fn write_matrix_market_to(
+    mut w: impl Write,
+    m: &Mat,
+    symmetric: bool,
+) -> Result<(), MmError> {
+    let (rows, cols) = (m.nrows(), m.ncols());
+    if symmetric {
+        assert_eq!(rows, cols, "symmetric output needs a square matrix");
+        let mut entries = Vec::new();
+        for j in 0..cols {
+            for i in j..rows {
+                if m[(i, j)] != 0.0 {
+                    entries.push((i + 1, j + 1, m[(i, j)]));
+                }
+            }
+        }
+        writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+        writeln!(w, "% written by tridiag-gpu")?;
+        writeln!(w, "{rows} {cols} {}", entries.len())?;
+        for (i, j, v) in entries {
+            writeln!(w, "{i} {j} {v:.17e}")?;
+        }
+    } else {
+        writeln!(w, "%%MatrixMarket matrix array real general")?;
+        writeln!(w, "% written by tridiag-gpu")?;
+        writeln!(w, "{rows} {cols}")?;
+        for j in 0..cols {
+            for i in 0..rows {
+                writeln!(w, "{:.17e}", m[(i, j)])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn coordinate_symmetric_round_trip() {
+        let a = gen::random_symmetric_band(9, 2, 1);
+        let mut buf = Vec::new();
+        write_matrix_market_to(&mut buf, &a, true).unwrap();
+        let back = read_matrix_market_from(&buf[..]).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn array_general_round_trip() {
+        let a = gen::random(5, 7, 2);
+        let mut buf = Vec::new();
+        write_matrix_market_to(&mut buf, &a, false).unwrap();
+        let back = read_matrix_market_from(&buf[..]).unwrap();
+        for j in 0..7 {
+            for i in 0..5 {
+                assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn parses_reference_text() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n\
+                    2 2 2.0\n\
+                    3 3 1.5\n";
+        let m = read_matrix_market_from(text.as_bytes()).unwrap();
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(0, 1)], -1.0); // mirrored
+        assert_eq!(m[(1, 0)], -1.0);
+        assert_eq!(m[(2, 2)], 1.5);
+        assert_eq!(m[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_matrix_market_from("not a header\n1 1 1\n".as_bytes()).is_err());
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2 3\n".as_bytes()
+        )
+        .is_err());
+        // nnz mismatch
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n".as_bytes()
+        )
+        .is_err());
+        // out-of-range index
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("tg_matrix_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.mtx");
+        let a = gen::random_symmetric(6, 3);
+        write_matrix_market(&path, &a, true).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert_eq!(back, a);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,36 @@
+//! # tg-matrix
+//!
+//! Dense column-major matrix storage, lightweight borrowed views, symmetric
+//! band storage (both the conventional LAPACK layout and the compact
+//! "consecutive" layout of Figure 10 of the paper), matrix generators and
+//! norm / residual helpers.
+//!
+//! This crate is the storage substrate shared by every other crate in the
+//! workspace. Everything is `f64`: the paper is an FP64 study end-to-end.
+//!
+//! ## Layout conventions
+//!
+//! * Dense matrices are **column-major** with an explicit leading dimension
+//!   (`ld`), exactly like LAPACK, so panel factorizations can operate on
+//!   sub-matrix views in place.
+//! * Symmetric matrices store the **lower** triangle as the reference
+//!   triangle unless stated otherwise.
+//! * Symmetric band matrices with bandwidth `b` store the diagonal and `b`
+//!   subdiagonals.
+
+pub mod band;
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod norms;
+pub mod tridiagonal;
+
+pub use band::{BandLayout, SymBand};
+pub use dense::{Mat, MatMut, MatRef};
+pub use norms::{
+    frob_norm, max_abs_diff, orthogonality_residual, similarity_residual, sym_residual,
+};
+pub use tridiagonal::Tridiagonal;
+
+/// Machine epsilon for `f64`, re-exported for residual thresholds.
+pub const EPS: f64 = f64::EPSILON;

@@ -1,0 +1,213 @@
+//! Norms and the residuals used throughout the test suite to state
+//! factorization contracts:
+//!
+//! * orthogonality: `‖QᵀQ − I‖_F / √n`
+//! * similarity:    `‖A − Q B Qᵀ‖_F / ‖A‖_F`
+//!
+//! These follow the LAPACK testing conventions (residual scaled so that a
+//! backward-stable algorithm yields `O(n · ε)`).
+
+use crate::dense::{Mat, MatRef};
+
+/// Frobenius norm of a dense matrix.
+pub fn frob_norm(a: &Mat) -> f64 {
+    a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Frobenius norm of a view.
+pub fn frob_norm_ref(a: &MatRef<'_>) -> f64 {
+    let mut s = 0.0;
+    for j in 0..a.ncols() {
+        for &x in a.col(j) {
+            s += x * x;
+        }
+    }
+    s.sqrt()
+}
+
+/// Largest absolute entry.
+pub fn max_abs(a: &Mat) -> f64 {
+    a.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Largest absolute difference between two same-shaped matrices.
+pub fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()));
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// `‖QᵀQ − I‖_F / √n` for a square (or tall) `Q`.
+pub fn orthogonality_residual(q: &Mat) -> f64 {
+    let n = q.ncols();
+    let mut s = 0.0;
+    for j in 0..n {
+        let cj = q.col(j);
+        for i in 0..=j {
+            let ci = q.col(i);
+            let mut dot = 0.0;
+            for (&x, &y) in ci.iter().zip(cj) {
+                dot += x * y;
+            }
+            let target = if i == j { 1.0 } else { 0.0 };
+            let d = dot - target;
+            s += if i == j { d * d } else { 2.0 * d * d };
+        }
+    }
+    (s.sqrt()) / (n as f64).sqrt()
+}
+
+/// `‖A − Q B Qᵀ‖_F / ‖A‖_F`: how well `Q B Qᵀ` reconstructs `A`.
+///
+/// `O(n³)` dense computation; test-scale only.
+pub fn similarity_residual(a: &Mat, q: &Mat, b: &Mat) -> f64 {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    assert_eq!(q.nrows(), n);
+    assert_eq!(q.ncols(), n);
+    assert_eq!(b.nrows(), n);
+    assert_eq!(b.ncols(), n);
+    // R = Q B
+    let mut r = Mat::zeros(n, n);
+    for j in 0..n {
+        for k in 0..n {
+            let bkj = b[(k, j)];
+            if bkj != 0.0 {
+                let qk = q.col(k);
+                let rj = r.col_mut(j);
+                for i in 0..n {
+                    rj[i] += qk[i] * bkj;
+                }
+            }
+        }
+    }
+    // S = R Qᵀ, accumulate ‖A − S‖²
+    let mut err = 0.0;
+    for j in 0..n {
+        for i in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += r[(i, k)] * q[(j, k)];
+            }
+            let d = a[(i, j)] - s;
+            err += d * d;
+        }
+    }
+    err.sqrt() / frob_norm(a).max(f64::MIN_POSITIVE)
+}
+
+/// `‖A − Aᵀ‖_F / ‖A‖_F`: symmetry defect.
+pub fn sym_residual(a: &Mat) -> f64 {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n);
+    let mut s = 0.0;
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let d = a[(i, j)] - a[(j, i)];
+            s += 2.0 * d * d;
+        }
+    }
+    s.sqrt() / frob_norm(a).max(f64::MIN_POSITIVE)
+}
+
+/// Maximum relative eigenvalue error between two *sorted* spectra, scaled by
+/// the spectral spread (LAPACK-style `|λ − λ̂| / (‖A‖)`).
+pub fn spectrum_error(exact: &[f64], computed: &[f64]) -> f64 {
+    assert_eq!(exact.len(), computed.len());
+    let scale = exact
+        .iter()
+        .fold(0.0f64, |m, &x| m.max(x.abs()))
+        .max(f64::MIN_POSITIVE);
+    exact
+        .iter()
+        .zip(computed)
+        .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+        / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn frob_of_identity() {
+        let i = Mat::identity(9);
+        assert!((frob_norm(&i) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn orthogonality_of_identity_and_rotation() {
+        assert!(orthogonality_residual(&Mat::identity(5)) < 1e-16);
+        let (c, s) = (0.6, 0.8);
+        let g = Mat::from_rows(2, 2, &[c, -s, s, c]);
+        assert!(orthogonality_residual(&g) < 1e-15);
+    }
+
+    #[test]
+    fn orthogonality_detects_non_orthogonal() {
+        let mut m = Mat::identity(4);
+        m[(0, 1)] = 0.5;
+        assert!(orthogonality_residual(&m) > 0.1);
+    }
+
+    #[test]
+    fn similarity_identity_transform() {
+        let a = gen::random_symmetric(12, 1);
+        let q = Mat::identity(12);
+        assert!(similarity_residual(&a, &q, &a) < 1e-15);
+    }
+
+    #[test]
+    fn similarity_with_real_rotation() {
+        // A = Q B Qᵀ with B = QᵀAQ must give ~0 residual
+        let n = 10;
+        let a = gen::random_symmetric(n, 2);
+        let q = gen::random_orthogonal(n, 3);
+        // B = Qᵀ A Q computed densely
+        let mut aq = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[(i, k)] * q[(k, j)];
+                }
+                aq[(i, j)] = s;
+            }
+        }
+        let mut b = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += q[(k, i)] * aq[(k, j)];
+                }
+                b[(i, j)] = s;
+            }
+        }
+        assert!(similarity_residual(&a, &q, &b) < 1e-13);
+    }
+
+    #[test]
+    fn sym_residual_zero_for_symmetric() {
+        let a = gen::random_symmetric(8, 4);
+        assert_eq!(sym_residual(&a), 0.0);
+        let b = gen::random(8, 8, 5);
+        assert!(sym_residual(&b) > 0.01);
+    }
+
+    #[test]
+    fn spectrum_error_basics() {
+        assert_eq!(spectrum_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((spectrum_error(&[1.0, 2.0], &[1.0, 2.1]) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_views() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_rows(2, 2, &[1.0, 2.5, 3.0, 4.0]);
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-15);
+    }
+}

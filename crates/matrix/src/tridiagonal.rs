@@ -1,0 +1,174 @@
+//! Symmetric tridiagonal matrices — the output of tridiagonalization and the
+//! input of the tridiagonal eigensolvers.
+
+use crate::dense::Mat;
+
+/// A symmetric tridiagonal matrix stored as diagonal `d` (length `n`) and
+/// off-diagonal `e` (length `n − 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tridiagonal {
+    /// Diagonal entries `T[i][i]`.
+    pub d: Vec<f64>,
+    /// Off-diagonal entries `T[i+1][i] == T[i][i+1]`.
+    pub e: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Creates a tridiagonal matrix from its diagonals.
+    pub fn new(d: Vec<f64>, e: Vec<f64>) -> Self {
+        assert!(
+            d.len() == e.len() + 1 || (d.is_empty() && e.is_empty()),
+            "e must be one shorter than d"
+        );
+        Tridiagonal { d, e }
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Expands to a dense symmetric matrix.
+    pub fn to_dense(&self) -> Mat {
+        let n = self.n();
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = self.d[i];
+        }
+        for i in 0..n.saturating_sub(1) {
+            a[(i + 1, i)] = self.e[i];
+            a[(i, i + 1)] = self.e[i];
+        }
+        a
+    }
+
+    /// Trace — invariant under orthogonal similarity, handy in tests.
+    pub fn trace(&self) -> f64 {
+        self.d.iter().sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&self) -> f64 {
+        let dd: f64 = self.d.iter().map(|x| x * x).sum();
+        let ee: f64 = self.e.iter().map(|x| x * x).sum();
+        dd + 2.0 * ee
+    }
+
+    /// Makes every off-diagonal entry non-negative by a diagonal sign
+    /// similarity (does not change eigenvalues). Useful for comparing `T`s
+    /// produced by different algorithms, which are unique only up to signs.
+    pub fn with_positive_offdiag(&self) -> Tridiagonal {
+        Tridiagonal {
+            d: self.d.clone(),
+            e: self.e.iter().map(|x| x.abs()).collect(),
+        }
+    }
+
+    /// Applies Gershgorin's theorem: an interval containing all eigenvalues.
+    pub fn gershgorin(&self) -> (f64, f64) {
+        let n = self.n();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let r = if i > 0 { self.e[i - 1].abs() } else { 0.0 }
+                + if i + 1 < n { self.e[i].abs() } else { 0.0 };
+            lo = lo.min(self.d[i] - r);
+            hi = hi.max(self.d[i] + r);
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Counts eigenvalues strictly less than `x` by a Sturm sequence
+    /// (LAPACK `dlaneg`-style negcount). Robust to zero pivots.
+    pub fn sturm_count(&self, x: f64) -> usize {
+        let n = self.n();
+        let mut count = 0;
+        let mut q = 1.0f64;
+        for i in 0..n {
+            let e2 = if i > 0 { self.e[i - 1] * self.e[i - 1] } else { 0.0 };
+            q = if q != 0.0 {
+                self.d[i] - x - e2 / q
+            } else {
+                // standard perturbation when the previous pivot vanished
+                self.d[i] - x - e2 / (crate::EPS * (1.0 + x.abs()))
+            };
+            if q < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toeplitz(n: usize) -> Tridiagonal {
+        // d = 2, e = -1: eigenvalues 2 - 2 cos(kπ/(n+1)), all in (0, 4)
+        Tridiagonal::new(vec![2.0; n], vec![-1.0; n - 1])
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let t = Tridiagonal::new(vec![1.0, 2.0, 3.0], vec![4.0, 5.0]);
+        let a = t.to_dense();
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 0)], 4.0);
+        assert_eq!(a[(0, 1)], 4.0);
+        assert_eq!(a[(2, 1)], 5.0);
+        assert_eq!(a[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn trace_and_frob() {
+        let t = Tridiagonal::new(vec![1.0, 2.0], vec![3.0]);
+        assert_eq!(t.trace(), 3.0);
+        assert_eq!(t.frob_sq(), 1.0 + 4.0 + 2.0 * 9.0);
+    }
+
+    #[test]
+    fn gershgorin_contains_toeplitz_spectrum() {
+        let t = toeplitz(10);
+        let (lo, hi) = t.gershgorin();
+        assert!(lo <= 0.1 && hi >= 3.9);
+    }
+
+    #[test]
+    fn sturm_counts_toeplitz() {
+        let n = 8;
+        let t = toeplitz(n);
+        // exact eigenvalues: 2 - 2 cos(kπ/(n+1)), k = 1..n
+        let eigs: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        assert_eq!(t.sturm_count(eigs[0] - 1e-9), 0);
+        assert_eq!(t.sturm_count(eigs[0] + 1e-9), 1);
+        assert_eq!(t.sturm_count(eigs[4] + 1e-9), 5);
+        assert_eq!(t.sturm_count(4.1), n);
+    }
+
+    #[test]
+    fn positive_offdiag_same_spectrum_via_sturm() {
+        let t = Tridiagonal::new(vec![1.0, -2.0, 0.5, 3.0], vec![-1.0, 2.0, -0.5]);
+        let p = t.with_positive_offdiag();
+        for &x in &[-3.0, -1.0, 0.0, 0.7, 2.0, 4.0] {
+            assert_eq!(t.sturm_count(x), p.sturm_count(x));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t0 = Tridiagonal::new(vec![], vec![]);
+        assert_eq!(t0.n(), 0);
+        let t1 = Tridiagonal::new(vec![5.0], vec![]);
+        assert_eq!(t1.n(), 1);
+        assert_eq!(t1.sturm_count(6.0), 1);
+        assert_eq!(t1.sturm_count(4.0), 0);
+    }
+}

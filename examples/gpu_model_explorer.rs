@@ -1,0 +1,68 @@
+//! Explore the GPU performance-model substrate interactively: sweep the
+//! DBBR parameters `(b, k)` on a modeled device and print the predicted
+//! tridiagonalization time surface — the tuning exercise §4.1 of the paper
+//! walks through (small `b` helps bulge chasing, large `k` helps `syr2k`).
+//!
+//! ```text
+//! cargo run --release --example gpu_model_explorer [n] [h100|rtx4090]
+//! ```
+
+use std::env;
+use tridiag_gpu::gpu_sim::{compose, Device};
+
+fn main() {
+    let n: usize = env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32768);
+    let dev = match env::args().nth(2).as_deref() {
+        Some("rtx4090") => Device::rtx4090(),
+        _ => Device::h100(),
+    };
+    println!(
+        "modeled tridiagonalization time on {} at n = {n} (stage1 + BC, seconds)\n",
+        dev.name
+    );
+
+    let bs = [16usize, 32, 64, 128];
+    let ks = [128usize, 256, 512, 1024, 2048];
+    print!("{:>6}", "b \\ k");
+    for k in ks {
+        print!("{k:>10}");
+    }
+    println!();
+    let mut best = (f64::INFINITY, 0, 0);
+    for b in bs {
+        print!("{b:>6}");
+        for k in ks {
+            if k < b {
+                print!("{:>10}", "-");
+                continue;
+            }
+            let stage1 = compose::dbbr_time(&dev, n, b, k);
+            let bc = compose::bc_gpu_time(&dev, n, b, true, None);
+            let total = stage1 + bc;
+            if total < best.0 {
+                best = (total, b, k);
+            }
+            print!("{total:>10.3}");
+        }
+        println!();
+    }
+    let flops = 4.0 / 3.0 * (n as f64).powi(3);
+    println!(
+        "\nbest: b = {}, k = {} → {:.3}s ({:.2} TFLOP/s)",
+        best.1,
+        best.2,
+        best.0,
+        flops / best.0 / 1e12
+    );
+    println!(
+        "paper's choice (b = 32, k = 1024) → {:.3}s",
+        compose::dbbr_time(&dev, n, 32, 1024) + compose::bc_gpu_time(&dev, n, 32, true, None)
+    );
+    println!("\nbaselines at this size:");
+    println!("  cuSOLVER sytrd: {:.3}s", compose::tridiag_cusolver(&dev, n));
+    let (sbr, bc) = compose::tridiag_magma(&dev, n, 64);
+    println!("  MAGMA two-stage (b = 64): {:.3}s (SBR {sbr:.3} + BC {bc:.3})", sbr + bc);
+}

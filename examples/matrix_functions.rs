@@ -1,0 +1,106 @@
+//! Matrix functions via eigendecomposition: `f(A) = V f(Λ) Vᵀ`.
+//!
+//! Computes the matrix square root and exponential of an SPD matrix with
+//! the proposed EVD pipeline and verifies them independently
+//! (`√A·√A = A`; `exp(A)` against its Taylor series).
+//!
+//! ```text
+//! cargo run --release --example matrix_functions [n]
+//! ```
+
+use tridiag_gpu::blas::{gemm, Op};
+use tridiag_gpu::prelude::*;
+
+fn apply_spectral(f: impl Fn(f64) -> f64, eigs: &[f64], v: &Mat) -> Mat {
+    let n = v.nrows();
+    // V f(Λ) Vᵀ
+    let mut vf = Mat::zeros(n, n);
+    for k in 0..n {
+        let s = f(eigs[k]);
+        let col = v.col(k);
+        let out = vf.col_mut(k);
+        for i in 0..n {
+            out[i] = s * col[i];
+        }
+    }
+    let mut result = Mat::zeros(n, n);
+    gemm(
+        1.0,
+        &vf.as_ref(),
+        Op::NoTrans,
+        &v.as_ref(),
+        Op::Trans,
+        0.0,
+        &mut result.as_mut(),
+    );
+    result
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
+    // SPD with a modest condition number, scaled so ‖A‖ ~ 1 (for exp)
+    let mut a = gen::random_spd(n, 5);
+    let scale = 1.0 / (2.0 * n as f64);
+    for x in a.as_mut_slice() {
+        *x *= scale;
+    }
+    println!("matrix functions of an SPD matrix, n = {n}\n");
+
+    let evd = syevd(&mut a.clone(), &EvdMethod::proposed_default(n), true)
+        .expect("eigensolver failed");
+    let v = evd.eigenvectors.as_ref().unwrap();
+    println!(
+        "spectrum in [{:.4}, {:.4}], eigenpair residual {:.2e}",
+        evd.eigenvalues[0],
+        evd.eigenvalues[n - 1],
+        evd.residual(&a)
+    );
+
+    // ── matrix square root
+    let sqrt_a = apply_spectral(f64::sqrt, &evd.eigenvalues, v);
+    let mut sq = Mat::zeros(n, n);
+    gemm(
+        1.0,
+        &sqrt_a.as_ref(),
+        Op::NoTrans,
+        &sqrt_a.as_ref(),
+        Op::NoTrans,
+        0.0,
+        &mut sq.as_mut(),
+    );
+    let err_sqrt = tridiag_gpu::matrix::max_abs_diff(&sq, &a);
+    println!("‖√A·√A − A‖_max = {err_sqrt:.2e}");
+    assert!(err_sqrt < 1e-11);
+
+    // ── matrix exponential, cross-checked against 20 Taylor terms
+    let exp_a = apply_spectral(f64::exp, &evd.eigenvalues, v);
+    let mut taylor = Mat::identity(n);
+    let mut term = Mat::identity(n);
+    for k in 1..=20 {
+        let mut next = Mat::zeros(n, n);
+        gemm(
+            1.0 / k as f64,
+            &term.as_ref(),
+            Op::NoTrans,
+            &a.as_ref(),
+            Op::NoTrans,
+            0.0,
+            &mut next.as_mut(),
+        );
+        term = next;
+        for (t, x) in taylor.as_mut_slice().iter_mut().zip(term.as_slice()) {
+            *t += x;
+        }
+    }
+    let err_exp = tridiag_gpu::matrix::max_abs_diff(&exp_a, &taylor);
+    println!("‖exp(A) − Taylor₂₀‖_max = {err_exp:.2e}");
+    assert!(err_exp < 1e-10);
+
+    // ── log det via the spectrum (the PCA/GP workhorse)
+    let logdet: f64 = evd.eigenvalues.iter().map(|x| x.ln()).sum();
+    println!("log det A = {logdet:.6}");
+    println!("\nall matrix-function identities verified.");
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: the full reduction → eigensolve → back
+//! transformation pipeline, on workloads with independently known answers.
+
+use tridiag_gpu::prelude::*;
+
+/// All three tridiagonalization pipelines applied to the same matrix must
+/// produce orthogonally-similar tridiagonal matrices and reconstruct `A`.
+#[test]
+fn three_pipelines_same_matrix() {
+    let n = 60;
+    let a = gen::random_symmetric(n, 101);
+    let methods = [
+        Method::Direct { nb: 8 },
+        Method::Sbr {
+            b: 4,
+            parallel_sweeps: 3,
+        },
+        Method::Dbbr {
+            cfg: DbbrConfig::new(4, 16),
+            parallel_sweeps: 4,
+        },
+    ];
+    let mut spectra = Vec::new();
+    for m in &methods {
+        let mut w = a.clone();
+        let red = tridiagonalize(&mut w, m);
+        let q = red.form_q();
+        assert!(orthogonality_residual(&q) < 1e-11, "{m:?}");
+        assert!(
+            similarity_residual(&a, &q, &red.tri.to_dense()) < 1e-11,
+            "{m:?}"
+        );
+        spectra.push(sterf(&red.tri).unwrap());
+    }
+    for k in 1..spectra.len() {
+        for i in 0..n {
+            assert!(
+                (spectra[0][i] - spectra[k][i]).abs() < 1e-9,
+                "spectra diverge at eigenvalue {i} between pipelines 0 and {k}"
+            );
+        }
+    }
+}
+
+/// EVD of a matrix with a planted spectrum, via every driver.
+#[test]
+fn planted_spectrum_recovered_by_all_drivers() {
+    let n = 56;
+    let eigs: Vec<f64> = (0..n).map(|i| ((i * i) as f64).sqrt() - 3.0).collect();
+    let a = gen::with_spectrum(&eigs, 55);
+    let drivers = [
+        EvdMethod::CusolverLike { nb: 8 },
+        EvdMethod::MagmaLike { b: 4 },
+        EvdMethod::Proposed {
+            b: 4,
+            k: 16,
+            parallel_sweeps: 4,
+            backtransform_k: 32,
+        },
+    ];
+    let mut sorted = eigs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for d in &drivers {
+        let evd = syevd(&mut a.clone(), d, true).unwrap();
+        assert!(
+            tridiag_gpu::matrix::norms::spectrum_error(&sorted, &evd.eigenvalues) < 1e-10,
+            "{d:?}"
+        );
+        assert!(evd.residual(&a) < 1e-10, "{d:?}");
+        assert!(
+            orthogonality_residual(evd.eigenvectors.as_ref().unwrap()) < 1e-10,
+            "{d:?}"
+        );
+    }
+}
+
+/// The two-stage pipeline must behave identically whether the bulge chasing
+/// runs sequentially or with any number of parallel sweeps.
+#[test]
+fn parallel_sweeps_do_not_change_results() {
+    let n = 48;
+    let a = gen::random_symmetric(n, 77);
+    let base = {
+        let mut w = a.clone();
+        tridiagonalize(
+            &mut w,
+            &Method::Sbr {
+                b: 4,
+                parallel_sweeps: 1,
+            },
+        )
+        .tri
+    };
+    for sweeps in [2usize, 3, 8, 16] {
+        let mut w = a.clone();
+        let tri = tridiagonalize(
+            &mut w,
+            &Method::Sbr {
+                b: 4,
+                parallel_sweeps: sweeps,
+            },
+        )
+        .tri;
+        assert_eq!(tri.d, base.d, "sweeps = {sweeps}");
+        assert_eq!(tri.e, base.e, "sweeps = {sweeps}");
+    }
+}
+
+/// Band reduction composed with bulge chasing equals a direct reduction in
+/// the spectral sense, on a banded input (no reduction work wasted).
+#[test]
+fn band_input_shortcut() {
+    let n = 50;
+    let b = 5;
+    let dense = gen::random_symmetric_band(n, b, 31);
+    let band = SymBand::from_dense_lower(&dense, b);
+    let bc = bulge_chase_seq(&band);
+    let direct = {
+        let mut w = dense.clone();
+        tridiagonalize(&mut w, &Method::Direct { nb: 8 }).tri
+    };
+    let e1 = sterf(&bc.tri).unwrap();
+    let e2 = sterf(&direct).unwrap();
+    for i in 0..n {
+        assert!((e1[i] - e2[i]).abs() < 1e-10, "eigenvalue {i}");
+    }
+}
+
+/// Eigenvalues-only and with-vectors paths agree; vectors diagonalize `A`.
+#[test]
+fn vector_and_value_paths_agree() {
+    let n = 40;
+    let a = gen::random_spd(n, 99);
+    let m = EvdMethod::Proposed {
+        b: 3,
+        k: 9,
+        parallel_sweeps: 2,
+        backtransform_k: 18,
+    };
+    let only_values = syevd(&mut a.clone(), &m, false).unwrap();
+    let with_vectors = syevd(&mut a.clone(), &m, true).unwrap();
+    for (x, y) in only_values
+        .eigenvalues
+        .iter()
+        .zip(&with_vectors.eigenvalues)
+    {
+        assert!((x - y).abs() < 1e-8);
+    }
+    assert!(only_values.eigenvalues.iter().all(|&x| x > 0.0), "SPD");
+}
+
+/// Identity and diagonal matrices round-trip exactly-ish.
+#[test]
+fn trivial_matrices() {
+    let n = 24;
+    // identity
+    let evd = syevd(
+        &mut Mat::identity(n),
+        &EvdMethod::MagmaLike { b: 2 },
+        true,
+    )
+    .unwrap();
+    for &e in &evd.eigenvalues {
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+    // diagonal with distinct entries
+    let mut d = Mat::zeros(n, n);
+    for i in 0..n {
+        d[(i, i)] = i as f64;
+    }
+    let evd = syevd(&mut d.clone(), &EvdMethod::CusolverLike { nb: 4 }, true).unwrap();
+    for (i, &e) in evd.eigenvalues.iter().enumerate() {
+        assert!((e - i as f64).abs() < 1e-10);
+    }
+}

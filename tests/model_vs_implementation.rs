@@ -1,0 +1,85 @@
+//! Consistency between the GPU performance model and the real
+//! implementations: the model's *structural* quantities (task counts, loop
+//! trip counts, flop totals) must match what the Rust implementations
+//! actually do — this is what makes the composed figures trustworthy.
+
+use tridiag_gpu::gpu_sim::pipeline::tasks_in_sweep;
+use tridiag_gpu::prelude::*;
+
+/// The DES task count per sweep equals the number of reflectors the real
+/// bulge-chasing sweep generates.
+#[test]
+fn pipeline_task_counts_match_real_sweeps() {
+    for (n, b) in [(24usize, 3usize), (30, 4), (17, 2), (40, 5)] {
+        let dense = gen::random_symmetric_band(n, b, 5);
+        let band = SymBand::from_dense_lower(&dense, b);
+        let res = bulge_chase_seq(&band);
+        for (s, sweep) in res.reflectors.iter().enumerate() {
+            assert_eq!(
+                sweep.len(),
+                tasks_in_sweep(n, b, s),
+                "task count mismatch at sweep {s} (n={n}, b={b})"
+            );
+        }
+    }
+}
+
+/// The model's SBR loop trip count equals the real factor count.
+#[test]
+fn sbr_factor_count_matches_model_loop() {
+    for (n, b) in [(24usize, 4usize), (30, 3), (50, 7)] {
+        let mut a = gen::random_symmetric(n, 9);
+        let red = band_reduce(&mut a, b, 16);
+        // the model iterates j = 0, b, 2b, … while j + b + 1 < n
+        let mut expected = 0;
+        let mut j = 0;
+        while j + b + 1 < n {
+            expected += 1;
+            j += b;
+        }
+        assert_eq!(red.factors.len(), expected, "n={n} b={b}");
+    }
+}
+
+/// DBBR's factor offsets equal SBR's (same elimination order), and the
+/// number of deferred trailing updates equals ⌈panels·b/k⌉ outer blocks.
+#[test]
+fn dbbr_structure_matches_model() {
+    let n = 40;
+    let b = 4;
+    let k = 12;
+    let mut a1 = gen::random_symmetric(n, 10);
+    let sbr = band_reduce(&mut a1, b, 16);
+    let mut a2 = gen::random_symmetric(n, 10);
+    let dbr = dbbr(&mut a2, &DbbrConfig::new(b, k));
+    let offs_sbr: Vec<usize> = sbr.factors.iter().map(|f| f.0).collect();
+    let offs_dbr: Vec<usize> = dbr.factors.iter().map(|f| f.0).collect();
+    assert_eq!(offs_sbr, offs_dbr);
+}
+
+/// Total reflector count in BC ≈ n²/(2b) — the quantity the back
+/// transformation cost model scales with.
+#[test]
+fn bc_reflector_count_scaling() {
+    let b = 4;
+    for n in [32usize, 64, 96] {
+        let dense = gen::random_symmetric_band(n, b, 6);
+        let band = SymBand::from_dense_lower(&dense, b);
+        let res = bulge_chase_seq(&band);
+        let count = res.reflector_count() as f64;
+        let expected = (n * n) as f64 / (2.0 * b as f64);
+        assert!(
+            (count - expected).abs() / expected < 0.35,
+            "n={n}: {count} reflectors vs ~{expected}"
+        );
+    }
+}
+
+/// Model flop counters agree with the paper's conventions.
+#[test]
+fn flop_conventions() {
+    use tridiag_gpu::blas::flops;
+    assert_eq!(flops::gemm(10, 20, 30), 2 * 10 * 20 * 30);
+    assert_eq!(flops::syr2k(100, 8), 2 * 8 * 100 * 101);
+    assert_eq!(flops::sytrd(300), 4 * 300u64.pow(3) / 3);
+}

@@ -1,0 +1,84 @@
+//! Larger-scale stress tests. The default suite keeps them `#[ignore]`d so
+//! `cargo test` stays fast; run them explicitly with
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use tridiag_gpu::prelude::*;
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn evd_512_full_contract() {
+    let n = 512;
+    let a = gen::random_symmetric(n, 1);
+    let evd = syevd(&mut a.clone(), &EvdMethod::proposed_default(n), true).unwrap();
+    assert!(evd.residual(&a) < 1e-11);
+    assert!(orthogonality_residual(evd.eigenvectors.as_ref().unwrap()) < 1e-11);
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn tridiag_768_all_methods_agree() {
+    let n = 768;
+    let a = gen::random_symmetric(n, 2);
+    let methods = [
+        Method::Direct { nb: 32 },
+        Method::Sbr {
+            b: 32,
+            parallel_sweeps: 8,
+        },
+        Method::Dbbr {
+            cfg: DbbrConfig::new(32, 128),
+            parallel_sweeps: 8,
+        },
+    ];
+    let tris: Vec<_> = methods
+        .iter()
+        .map(|m| tridiagonalize(&mut a.clone(), m).tri)
+        .collect();
+    for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+        let c = tris[0].sturm_count(x);
+        assert_eq!(tris[1].sturm_count(x), c);
+        assert_eq!(tris[2].sturm_count(x), c);
+    }
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn bc_1024_wide_band_determinism() {
+    let n = 1024;
+    let b = 16;
+    let dense = gen::random_symmetric_band(n, b, 3);
+    let band = SymBand::from_dense_lower(&dense, b);
+    let reference = bulge_chase_seq(&band);
+    for s in [4usize, 32, 128] {
+        let r = bulge_chase_pipelined(&band, s);
+        assert_eq!(r.tri.d, reference.tri.d, "S={s}");
+        assert_eq!(r.tri.e, reference.tri.e, "S={s}");
+    }
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn dc_2048_laplacian_exact() {
+    let t = gen::laplacian_1d(2048);
+    let (eigs, v) = stedc(&t).unwrap();
+    let exact = gen::laplacian_1d_eigs(2048);
+    assert!(tridiag_gpu::matrix::norms::spectrum_error(&exact, &eigs) < 1e-11);
+    assert!(orthogonality_residual(&v) < 1e-11);
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn pipeline_des_paper_scale() {
+    // the actual Figure-5 configuration, full size
+    use tridiag_gpu::gpu_sim::{bc_model, pipeline};
+    let n = 65536;
+    let b = 32;
+    for s in [32usize, 128] {
+        let closed = bc_model::total_cycles(n, b, s);
+        let des = pipeline::simulate(n, b, s, 1.0).makespan_s;
+        assert!((closed - des).abs() / des < 0.05, "S={s}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the SVD substrate (two-stage bidiagonal reduction).
+
+use proptest::prelude::*;
+use tridiag_gpu::matrix::gen;
+use tridiag_gpu::svd::{gb2bd, ge2gb, singular_values, SvdMethod};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Direct and two-stage singular values agree for random shapes and
+    /// bandwidths, and are non-negative descending.
+    #[test]
+    fn methods_agree(n in 3usize..26, b in 1usize..6, seed in 0u64..300) {
+        let a = gen::random(n, n, seed);
+        let s1 = singular_values(&a, SvdMethod::Direct);
+        let s2 = singular_values(&a, SvdMethod::TwoStage { b });
+        prop_assert_eq!(s1.len(), n);
+        prop_assert!(s1.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        prop_assert!(s1.iter().all(|&x| x >= 0.0));
+        let scale = s1[0].max(1e-300);
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// Orthogonal matrices have all singular values equal to 1.
+    #[test]
+    fn orthogonal_has_unit_spectrum(n in 2usize..20, seed in 0u64..200) {
+        let q = gen::random_orthogonal(n, seed);
+        let sv = singular_values(&q, SvdMethod::TwoStage { b: 2 });
+        for &s in &sv {
+            prop_assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    /// Scaling the matrix scales every singular value.
+    #[test]
+    fn scaling_covariance(n in 3usize..16, seed in 0u64..200, scale in 1e-3f64..1e3) {
+        let a = gen::random(n, n, seed);
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v *= scale;
+        }
+        let sa = singular_values(&a, SvdMethod::Direct);
+        let sb = singular_values(&b, SvdMethod::Direct);
+        for (x, y) in sa.iter().zip(&sb) {
+            prop_assert!((x * scale - y).abs() < 1e-9 * (1.0 + sb[0]));
+        }
+    }
+
+    /// Frobenius identity: `‖A‖_F² = Σ σᵢ²`.
+    #[test]
+    fn frobenius_identity(n in 2usize..22, seed in 0u64..200) {
+        let a = gen::random(n, n, seed);
+        let sv = singular_values(&a, SvdMethod::TwoStage { b: 3 });
+        let fro2: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        let sum2: f64 = sv.iter().map(|x| x * x).sum();
+        prop_assert!((fro2 - sum2).abs() < 1e-9 * (1.0 + fro2));
+    }
+
+    /// Stage 1 output is always a clean upper band; stage 2 always a clean
+    /// bidiagonal, whatever the geometry.
+    #[test]
+    fn structural_invariants(n in 4usize..20, b in 1usize..6, seed in 0u64..200) {
+        let mut a = gen::random(n, n, seed);
+        let _ = ge2gb(&mut a, b);
+        for j in 0..n {
+            for i in 0..n {
+                if i > j || j > i + b {
+                    prop_assert!(a[(i, j)].abs() < 1e-11, "band ({i},{j})");
+                }
+            }
+        }
+        let _ = gb2bd(&mut a, b);
+        for j in 0..n {
+            for i in 0..n {
+                if i != j && j != i + 1 {
+                    prop_assert!(a[(i, j)].abs() < 1e-10, "bidiag ({i},{j})");
+                }
+            }
+        }
+    }
+}
+
+/// The singular values of a symmetric matrix are the absolute eigenvalues —
+/// ties the SVD substrate back to the eigensolver stack.
+#[test]
+fn symmetric_svd_is_abs_spectrum() {
+    use tridiag_gpu::prelude::*;
+    let n = 24;
+    let a = gen::random_symmetric(n, 77);
+    let evd = syevd(&mut a.clone(), &EvdMethod::CusolverLike { nb: 4 }, false).unwrap();
+    let mut abs_eigs: Vec<f64> = evd.eigenvalues.iter().map(|x| x.abs()).collect();
+    abs_eigs.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    let sv = singular_values(&a, SvdMethod::TwoStage { b: 4 });
+    for (x, y) in sv.iter().zip(&abs_eigs) {
+        assert!((x - y).abs() < 1e-9 * abs_eigs[0], "{x} vs {y}");
+    }
+}
