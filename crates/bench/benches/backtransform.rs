@@ -30,10 +30,7 @@ fn bench_bt(c: &mut Criterion) {
     }
 
     // BC back transformation: per-reflector vs sweep-blocked (§8 extension)
-    let band = tg_matrix::SymBand::from_dense_lower(
-        &gen::random_symmetric_band(n, b, 3),
-        b,
-    );
+    let band = tg_matrix::SymBand::from_dense_lower(&gen::random_symmetric_band(n, b, 3), b);
     let bc = tridiag_core::bulge_chase_seq(&band);
     g.bench_function("bc_reflectors", |bench| {
         bench.iter(|| {

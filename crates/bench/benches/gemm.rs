@@ -14,19 +14,43 @@ fn bench_gemm(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
             let mut cm = Mat::zeros(n, n);
             bench.iter(|| {
-                gemm(1.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans, 0.0, &mut cm.as_mut())
+                gemm(
+                    1.0,
+                    &a.as_ref(),
+                    Op::NoTrans,
+                    &b.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    &mut cm.as_mut(),
+                )
             });
         });
         g.bench_with_input(BenchmarkId::new("packed_nn", n), &n, |bench, _| {
             let mut cm = Mat::zeros(n, n);
             bench.iter(|| {
-                tg_blas::gemm_packed(1.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans, 0.0, &mut cm.as_mut())
+                tg_blas::gemm_packed(
+                    1.0,
+                    &a.as_ref(),
+                    Op::NoTrans,
+                    &b.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    &mut cm.as_mut(),
+                )
             });
         });
         g.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
             let mut cm = Mat::zeros(n, n);
             bench.iter(|| {
-                gemm(1.0, &a.as_ref(), Op::Trans, &b.as_ref(), Op::NoTrans, 0.0, &mut cm.as_mut())
+                gemm(
+                    1.0,
+                    &a.as_ref(),
+                    Op::Trans,
+                    &b.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    &mut cm.as_mut(),
+                )
             });
         });
     }

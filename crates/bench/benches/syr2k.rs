@@ -19,7 +19,9 @@ fn bench_syr2k(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("square", k), &k, |bench, _| {
             let mut cm = gen::random_symmetric(n, 3);
-            bench.iter(|| syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut(), 64, 2));
+            bench.iter(|| {
+                syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut(), 64, 2)
+            });
         });
     }
     g.finish();

@@ -11,7 +11,13 @@ fn bench_tridiag(c: &mut Criterion) {
     let a0 = gen::random_symmetric(n, 1);
     let cases: Vec<(&str, Method)> = vec![
         ("direct", Method::Direct { nb: 16 }),
-        ("sbr_bc", Method::Sbr { b: 8, parallel_sweeps: 1 }),
+        (
+            "sbr_bc",
+            Method::Sbr {
+                b: 8,
+                parallel_sweeps: 1,
+            },
+        ),
         (
             "dbbr_pipelined",
             Method::Dbbr {

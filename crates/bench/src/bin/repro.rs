@@ -11,6 +11,7 @@
 //! repro whatif              # hardware-scaling what-if scenarios
 //! repro fig10               # L2 cache-simulation hit rates (layout study)
 //! repro measured [n]        # CPU-scale measured shape checks (real kernels)
+//! repro model_vs_measured   # traced-counter vs analytic-formula cross-check
 //! repro json                # machine-readable dump of all model figures
 //! ```
 
@@ -68,10 +69,11 @@ fn main() {
             verify(n);
         }
         "fig10" => fig10(),
+        "model_vs_measured" => model_vs_measured(),
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -94,7 +96,13 @@ fn table1() {
         "{}",
         render_table(
             "Table 1 — cuBLAS DSYR2K TFLOP/s (model)",
-            &["k", "H100 n=8192", "H100 n=32768", "4090 n=8192", "4090 n=32768"],
+            &[
+                "k",
+                "H100 n=8192",
+                "H100 n=32768",
+                "4090 n=8192",
+                "4090 n=32768"
+            ],
             &rows
         )
     );
@@ -301,7 +309,15 @@ fn fig16() {
         "{}",
         render_table(
             "Figure 16 — end-to-end EVD (H100 model)",
-            &["n", "vectors", "cuSOLVER", "MAGMA", "ours", "vs cuSOLVER", "vs MAGMA"],
+            &[
+                "n",
+                "vectors",
+                "cuSOLVER",
+                "MAGMA",
+                "ours",
+                "vs cuSOLVER",
+                "vs MAGMA"
+            ],
             &rows
         )
     );
@@ -314,7 +330,11 @@ fn measured_suite(n: usize) {
     let ms = measured::syr2k_sweep(n, &[8, 32, 128, n.min(256)]);
     println!(
         "{}",
-        render_table("measured: syr2k rank sweep", &header, &measured::to_rows(&ms))
+        render_table(
+            "measured: syr2k rank sweep",
+            &header,
+            &measured::to_rows(&ms)
+        )
     );
 
     let b = (n / 16).clamp(2, 32);
@@ -385,7 +405,15 @@ fn anchors() {
         "{}",
         render_table(
             "Paper-vs-model anchor report",
-            &["source", "quantity", "paper", "model", "unit", "err", "calibrated"],
+            &[
+                "source",
+                "quantity",
+                "paper",
+                "model",
+                "unit",
+                "err",
+                "calibrated"
+            ],
             &rows
         )
     );
@@ -456,7 +484,14 @@ fn tune() {
             "{}",
             render_table(
                 &format!("Model-tuned (b, k) on {}", dev.name),
-                &["n", "best config", "total", "vs cuSOLVER", "vs MAGMA", "vs (32,1024)"],
+                &[
+                    "n",
+                    "best config",
+                    "total",
+                    "vs cuSOLVER",
+                    "vs MAGMA",
+                    "vs (32,1024)"
+                ],
                 &rows
             )
         );
@@ -482,7 +517,13 @@ fn roofline() {
             "{}",
             render_table(
                 &format!("Roofline placement on {} (n = 32768)", dev.name),
-                &["kernel", "flops/byte", "roofline TF", "model TF", "bound by"],
+                &[
+                    "kernel",
+                    "flops/byte",
+                    "roofline TF",
+                    "model TF",
+                    "bound by"
+                ],
                 &rows
             )
         );
@@ -547,8 +588,10 @@ fn fig10() {
     use tg_gpu_sim::cache::{bc_trace_hit_rate, CacheSim};
     use tg_matrix::BandLayout;
     println!("── Figure 10 — L2 hit rate, dense-embedded vs compact band storage ──");
-    println!("(cache simulation of the bulge-chasing access stream)
-");
+    println!(
+        "(cache simulation of the bulge-chasing access stream)
+"
+    );
     let n = 4096;
     let b = 4;
     let sweeps = 512;
@@ -597,4 +640,18 @@ fn json_dump() {
         "anchors": tg_gpu_sim::anchors::anchor_report(),
     });
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
+}
+
+/// Runs the real `tg-blas` kernels under `tg-trace` and cross-checks the
+/// counted FLOPs/bytes against the analytic formulas the cost models use
+/// (see `tg_gpu_sim::model_check`). Exits nonzero on >1 % disagreement.
+fn model_vs_measured() {
+    use tg_gpu_sim::model_check;
+    println!("== model vs measured (traced counters vs analytic formulas) ==");
+    let shapes = [(64usize, 8usize, 16usize), (96, 12, 24), (128, 16, 32)];
+    let rows = model_check::model_vs_measured(&shapes);
+    print!("{}", model_check::report(&rows));
+    if rows.iter().any(|r| !r.within_tolerance()) {
+        std::process::exit(1);
+    }
 }

@@ -39,9 +39,8 @@ pub fn syr2k_sweep(n: usize, ks: &[usize]) -> Vec<Measurement> {
         let b = gen::random(n, k, 2);
         let flops = tg_blas::flops::syr2k(n, k) as f64;
         let mut c1 = gen::random_symmetric(n, 3);
-        let t1 = time_it(|| {
-            syr2k_blocked(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c1.as_mut(), 64)
-        });
+        let t1 =
+            time_it(|| syr2k_blocked(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c1.as_mut(), 64));
         out.push(Measurement {
             label: "syr2k_blocked".into(),
             param: k,
@@ -49,9 +48,8 @@ pub fn syr2k_sweep(n: usize, ks: &[usize]) -> Vec<Measurement> {
             gflops: flops / t1 / 1e9,
         });
         let mut c2 = gen::random_symmetric(n, 3);
-        let t2 = time_it(|| {
-            syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c2.as_mut(), 64, 2)
-        });
+        let t2 =
+            time_it(|| syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c2.as_mut(), 64, 2));
         out.push(Measurement {
             label: "syr2k_square".into(),
             param: k,
@@ -274,7 +272,11 @@ pub fn verification_suite(n: usize) -> Vec<Check> {
         },
     );
     let q = red.form_q();
-    out.push(check("DBBR+BC: ||QtQ - I||", orthogonality_residual(&q), 1e-11));
+    out.push(check(
+        "DBBR+BC: ||QtQ - I||",
+        orthogonality_residual(&q),
+        1e-11,
+    ));
     out.push(check(
         "DBBR+BC: ||A - QTQt||/||A||",
         similarity_residual(&a, &q, &red.tri.to_dense()),

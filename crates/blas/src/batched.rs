@@ -40,7 +40,15 @@ fn run(j: GemmJob<'_>) {
         beta,
         c,
     } = j;
-    gemm(alpha, &a.as_ref(), op_a, &b.as_ref(), op_b, beta, &mut c.as_mut());
+    gemm(
+        alpha,
+        &a.as_ref(),
+        op_a,
+        &b.as_ref(),
+        op_b,
+        beta,
+        &mut c.as_mut(),
+    );
 }
 
 /// Uniform batched GEMM over parallel slices:
@@ -78,12 +86,19 @@ mod tests {
     fn uniform_batch_matches_singles() {
         let batch = 5;
         let a: Vec<Mat> = (0..batch).map(|i| gen::random(4, 3, i as u64)).collect();
-        let b: Vec<Mat> = (0..batch).map(|i| gen::random(3, 6, 100 + i as u64)).collect();
+        let b: Vec<Mat> = (0..batch)
+            .map(|i| gen::random(3, 6, 100 + i as u64))
+            .collect();
         let mut c: Vec<Mat> = (0..batch).map(|_| Mat::zeros(4, 6)).collect();
         gemm_batched_uniform(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c);
         for i in 0..batch {
-            let expect =
-                crate::level3::gemm_into(1.0, &a[i].as_ref(), Op::NoTrans, &b[i].as_ref(), Op::NoTrans);
+            let expect = crate::level3::gemm_into(
+                1.0,
+                &a[i].as_ref(),
+                Op::NoTrans,
+                &b[i].as_ref(),
+                Op::NoTrans,
+            );
             for jj in 0..6 {
                 for ii in 0..4 {
                     assert!((c[i][(ii, jj)] - expect[(ii, jj)]).abs() < 1e-12);
@@ -120,7 +135,8 @@ mod tests {
                 c: &mut c2,
             },
         ]);
-        let e1 = crate::level3::gemm_into(1.0, &a1.as_ref(), Op::NoTrans, &b1.as_ref(), Op::NoTrans);
+        let e1 =
+            crate::level3::gemm_into(1.0, &a1.as_ref(), Op::NoTrans, &b1.as_ref(), Op::NoTrans);
         let e2 = crate::level3::gemm_into(2.0, &a2.as_ref(), Op::Trans, &b2.as_ref(), Op::NoTrans);
         for j in 0..2 {
             for i in 0..2 {

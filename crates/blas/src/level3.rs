@@ -41,6 +41,22 @@ impl Op {
 /// Minimum output element count before the kernel fans out to rayon.
 const PAR_THRESHOLD: usize = 128 * 128;
 
+/// FLOP/byte accounting for one logical GEMM (`2mnk` flops; operands read
+/// once, `C` read and written once). Counted at the leaf kernels only, so
+/// blocked drivers that decompose into GEMM calls are not double-counted,
+/// and the totals match the `gpu-sim` analytic formulas exactly.
+#[inline]
+fn count_gemm(m: usize, n: usize, k: usize) {
+    if tg_trace::enabled() {
+        tg_trace::add(tg_trace::Counter::Flops, 2 * (m * n * k) as u64);
+        tg_trace::add(
+            tg_trace::Counter::BytesRead,
+            8 * (m * k + k * n + m * n) as u64,
+        );
+        tg_trace::add(tg_trace::Counter::BytesWritten, 8 * (m * n) as u64);
+    }
+}
+
 /// Column-block width processed per parallel task.
 const JB: usize = 64;
 
@@ -82,14 +98,17 @@ pub fn gemm(
         && m.min(n).min(k) >= 8
         && (rayon::current_num_threads() <= 1 || m * n < PAR_THRESHOLD)
     {
+        count_gemm(m, n, k);
         return crate::pack::gemm_packed(alpha, a, op_a, b, op_b, 1.0, c);
     }
 
     // TT is rare in this workspace; reduce it to NT by materializing op(A).
+    // (No counting here: the recursive call accounts for this multiply.)
     if op_a == Op::Trans && op_b == Op::Trans {
         let at = transpose_to_mat(a);
         return gemm(alpha, &at.as_ref(), Op::NoTrans, b, Op::Trans, 1.0, c);
     }
+    count_gemm(m, n, k);
 
     let elems = m * n;
     if elems >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
@@ -214,6 +233,19 @@ pub fn syr2k_ref(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, beta: f64, c: &mut 
     assert_eq!(a.nrows(), n);
     assert_eq!(b.nrows(), n);
     assert_eq!(b.ncols(), k);
+    if tg_trace::enabled() {
+        // 4 flops per (lower-tri element, rank index): 2kn(n+1) total —
+        // the same convention as `gpu-sim`'s syr2k_flops.
+        tg_trace::add(tg_trace::Counter::Flops, 2 * (k * n * (n + 1)) as u64);
+        tg_trace::add(
+            tg_trace::Counter::BytesRead,
+            8 * (2 * k * n * (n + 1) + n * (n + 1) / 2) as u64,
+        );
+        tg_trace::add(
+            tg_trace::Counter::BytesWritten,
+            8 * (n * (n + 1) / 2) as u64,
+        );
+    }
     for j in 0..n {
         for i in j..n {
             let mut s = 0.0;
@@ -234,6 +266,15 @@ pub fn symm_lower(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, beta: f64, c: &mut
     assert_eq!(b.nrows(), n);
     assert_eq!(c.nrows(), n);
     assert_eq!(b.ncols(), c.ncols());
+    if tg_trace::enabled() {
+        let cols = c.ncols();
+        tg_trace::add(tg_trace::Counter::Flops, 2 * (n * n * cols) as u64);
+        tg_trace::add(
+            tg_trace::Counter::BytesRead,
+            8 * (cols * (n * n + 2 * n)) as u64,
+        );
+        tg_trace::add(tg_trace::Counter::BytesWritten, 8 * (cols * n) as u64);
+    }
     for j in 0..c.ncols() {
         crate::level2::symv_lower(alpha, a, b.col(j), beta, c.col_mut(j));
     }
@@ -274,7 +315,15 @@ mod tests {
                 let b = gen::random(sb.0, sb.1, seed + 1);
                 let c0 = gen::random(m, n, seed + 2);
                 let mut c = c0.clone();
-                gemm(1.5, &a.as_ref(), op_a, &b.as_ref(), op_b, 0.5, &mut c.as_mut());
+                gemm(
+                    1.5,
+                    &a.as_ref(),
+                    op_a,
+                    &b.as_ref(),
+                    op_b,
+                    0.5,
+                    &mut c.as_mut(),
+                );
                 let p = naive_gemm(&a, op_a, &b, op_b);
                 for j in 0..n {
                     for i in 0..m {
@@ -311,7 +360,15 @@ mod tests {
         let a = gen::random(m, k, 30);
         let b = gen::random(k, n, 31);
         let mut c = Mat::zeros(m, n);
-        gemm(1.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans, 0.0, &mut c.as_mut());
+        gemm(
+            1.0,
+            &a.as_ref(),
+            Op::NoTrans,
+            &b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            &mut c.as_mut(),
+        );
         let p = naive_gemm(&a, Op::NoTrans, &b, Op::NoTrans);
         for j in 0..n {
             for i in 0..m {
@@ -347,7 +404,15 @@ mod tests {
         let a = gen::random(3, 3, 50);
         let b = gen::random(3, 3, 51);
         let mut c = Mat::zeros(3, 3);
-        gemm(2.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans, 0.0, &mut c.as_mut());
+        gemm(
+            2.0,
+            &a.as_ref(),
+            Op::NoTrans,
+            &b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            &mut c.as_mut(),
+        );
         let p = naive_gemm(&a, Op::NoTrans, &b, Op::NoTrans);
         for j in 0..3 {
             for i in 0..3 {

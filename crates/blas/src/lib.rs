@@ -24,8 +24,8 @@ pub mod triangular;
 
 pub use level3::{gemm, gemm_into, Op};
 pub use pack::gemm_packed;
-pub use triangular::potrf_lower;
 pub use syr2k::{syr2k_blocked, syr2k_square};
+pub use triangular::potrf_lower;
 
 /// Floating-point operation counts for the kernels in this crate, used by
 /// the benchmark harness to report TFLOP-style rates consistently with the

@@ -116,15 +116,7 @@ fn pack_a(
 }
 
 /// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into micro-panels of `NR` columns.
-fn pack_b(
-    b: &MatRef<'_>,
-    op_b: Op,
-    pc: usize,
-    jc: usize,
-    kc: usize,
-    nc: usize,
-    out: &mut [f64],
-) {
+fn pack_b(b: &MatRef<'_>, op_b: Op, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f64]) {
     let mut idx = 0;
     let mut p = 0;
     while p < nc {
@@ -218,9 +210,25 @@ mod tests {
         let b = gen::random(br, bc, seed + 1);
         let c0 = gen::random(m, n, seed + 2);
         let mut c_ref = c0.clone();
-        gemm(1.3, &a.as_ref(), op_a, &b.as_ref(), op_b, -0.5, &mut c_ref.as_mut());
+        gemm(
+            1.3,
+            &a.as_ref(),
+            op_a,
+            &b.as_ref(),
+            op_b,
+            -0.5,
+            &mut c_ref.as_mut(),
+        );
         let mut c_pk = c0.clone();
-        gemm_packed(1.3, &a.as_ref(), op_a, &b.as_ref(), op_b, -0.5, &mut c_pk.as_mut());
+        gemm_packed(
+            1.3,
+            &a.as_ref(),
+            op_a,
+            &b.as_ref(),
+            op_b,
+            -0.5,
+            &mut c_pk.as_mut(),
+        );
         assert!(
             tg_matrix::max_abs_diff(&c_ref, &c_pk) < 1e-10,
             "mismatch {m}x{n}x{k} {op_a:?}{op_b:?}: {}",
@@ -275,7 +283,15 @@ mod tests {
         let c0 = gen::random(8, 8, 42);
         // alpha = 0 ⇒ C = beta·C
         let mut c = c0.clone();
-        gemm_packed(0.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans, 2.0, &mut c.as_mut());
+        gemm_packed(
+            0.0,
+            &a.as_ref(),
+            Op::NoTrans,
+            &b.as_ref(),
+            Op::NoTrans,
+            2.0,
+            &mut c.as_mut(),
+        );
         for j in 0..8 {
             for i in 0..8 {
                 assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-14);

@@ -43,6 +43,7 @@ pub fn syr2k_blocked(
 ) {
     let (n, _k) = check_shapes(a, b, c);
     assert!(nb > 0);
+    let _span = tg_trace::span_cat("blas.syr2k_blocked", "kernel", Some(("n", n as u64)));
     let mut j = 0;
     while j < n {
         let w = nb.min(n - j);
@@ -96,6 +97,7 @@ pub fn syr2k_square(
 ) {
     let (n, _k) = check_shapes(a, b, c);
     assert!(nb > 0 && g > 0);
+    let _span = tg_trace::span_cat("blas.syr2k_square", "kernel", Some(("n", n as u64)));
     let sb = nb * g;
 
     // Column super-blocks are disjoint in storage, so rayon can own them.
@@ -167,10 +169,25 @@ mod tests {
         syr2k_ref(-1.0, &a.as_ref(), &b.as_ref(), 0.75, &mut c_ref.as_mut());
 
         let mut c_blk = c0.clone();
-        syr2k_blocked(-1.0, &a.as_ref(), &b.as_ref(), 0.75, &mut c_blk.as_mut(), nb);
+        syr2k_blocked(
+            -1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.75,
+            &mut c_blk.as_mut(),
+            nb,
+        );
 
         let mut c_sq = c0.clone();
-        syr2k_square(-1.0, &a.as_ref(), &b.as_ref(), 0.75, &mut c_sq.as_mut(), nb, g);
+        syr2k_square(
+            -1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.75,
+            &mut c_sq.as_mut(),
+            nb,
+            g,
+        );
 
         for j in 0..n {
             for i in j..n {

@@ -116,7 +116,7 @@ mod tests {
         let mut l = a0.clone();
         potrf_lower(&mut l).unwrap();
         // zero the upper part before L Lᵀ
-        let lclean = Mat_lower(&l);
+        let lclean = mat_lower(&l);
         let mut llt = tg_matrix::Mat::zeros(n, n);
         gemm(
             1.0,
@@ -130,7 +130,7 @@ mod tests {
         assert!(max_abs_diff(&llt, &a0) < 1e-10 * n as f64);
     }
 
-    fn Mat_lower(a: &tg_matrix::Mat) -> tg_matrix::Mat {
+    fn mat_lower(a: &tg_matrix::Mat) -> tg_matrix::Mat {
         let n = a.nrows();
         tg_matrix::Mat::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { 0.0 })
     }
@@ -148,7 +148,7 @@ mod tests {
         let n = 10;
         let mut spd = gen::random_spd(n, 5);
         potrf_lower(&mut spd).unwrap();
-        let l = Mat_lower(&spd);
+        let l = mat_lower(&spd);
         let x0 = gen::random(n, 4, 6);
         // L (L⁻¹ X) == X
         let mut y = x0.clone();

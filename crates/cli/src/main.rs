@@ -1,12 +1,16 @@
 //! `tridiag` — command-line symmetric eigensolver.
 //!
 //! ```text
-//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed]
-//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …]
-//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …]
+//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile]
+//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile]
+//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile]
 //! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
 //! tridiag info     <in.mtx>
 //! ```
+//!
+//! `--trace <out.json>` records a Chrome trace-event file (load it in
+//! Perfetto / `chrome://tracing`); `--profile` prints a per-stage wall
+//! time / GFLOP/s table to stderr. See `docs/OBSERVABILITY.md`.
 //!
 //! Matrices are Matrix Market files (`coordinate real symmetric`,
 //! `coordinate real general`, or `array real general`).
@@ -19,9 +23,9 @@ use tridiag_core::{tridiagonalize, Method};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed]\n  \
-         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...]\n  \
-         tridiag reduce   <in.mtx> <out.mtx> [--method ...]\n  \
+        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile]\n  \
+         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile]\n  \
+         tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile]\n  \
          tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
          tridiag info     <in.mtx>"
     );
@@ -39,6 +43,8 @@ struct Opts {
     n: usize,
     kind: String,
     seed: u64,
+    trace: Option<String>,
+    profile: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -48,11 +54,15 @@ fn parse_opts(args: &[String]) -> Opts {
         n: 0,
         kind: "random".into(),
         seed: 42,
+        trace: None,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--method" => o.method = it.next().cloned().unwrap_or_else(|| usage()),
+            "--trace" => o.trace = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--profile" => o.profile = true,
             "--n" => {
                 o.n = it
                     .next()
@@ -76,7 +86,11 @@ fn parse_opts(args: &[String]) -> Opts {
 fn load_symmetric(path: &str) -> Mat {
     let m = read_matrix_market(path).unwrap_or_else(|e| fail(e));
     if m.nrows() != m.ncols() {
-        fail(format!("matrix is {}x{}, need square", m.nrows(), m.ncols()));
+        fail(format!(
+            "matrix is {}x{}, need square",
+            m.nrows(),
+            m.ncols()
+        ));
     }
     let defect = tg_matrix::sym_residual(&m);
     if defect > 1e-12 {
@@ -108,27 +122,58 @@ fn tridiag_method(name: &str, n: usize) -> Method {
     }
 }
 
+/// Runs `f` under a trace session when `--trace` or `--profile` was given,
+/// then writes the Chrome trace / prints the profile table (to stderr, so
+/// commands whose data goes to stdout stay pipeable).
+fn with_trace<T>(o: &Opts, f: impl FnOnce() -> T) -> T {
+    if o.trace.is_none() && !o.profile {
+        return f();
+    }
+    let session = tg_trace::TraceSession::begin();
+    let out = f();
+    let trace = session.finish();
+    if let Some(path) = &o.trace {
+        std::fs::write(path, trace.chrome_json()).unwrap_or_else(|e| fail(e));
+        eprintln!(
+            "wrote Chrome trace ({} events) to {path}",
+            trace.events.len()
+        );
+    }
+    if o.profile {
+        eprint!("{}", trace.profile_table());
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     let o = parse_opts(&args[1..]);
     match cmd.as_str() {
         "eigvals" => {
-            let [input] = o.positional.as_slice() else { usage() };
+            let [input] = o.positional.as_slice() else {
+                usage()
+            };
             let a = load_symmetric(input);
             let n = a.nrows();
-            let evd = syevd(&mut a.clone(), &evd_method(&o.method, n), false)
-                .unwrap_or_else(|e| fail(e));
+            let evd = with_trace(&o, || {
+                syevd(&mut a.clone(), &evd_method(&o.method, n), false)
+            })
+            .unwrap_or_else(|e| fail(e));
             for v in &evd.eigenvalues {
                 println!("{v:.17e}");
             }
         }
         "evd" => {
-            let [input, out_vals, out_vecs] = o.positional.as_slice() else { usage() };
+            let [input, out_vals, out_vecs] = o.positional.as_slice() else {
+                usage()
+            };
             let a = load_symmetric(input);
             let n = a.nrows();
-            let evd = syevd(&mut a.clone(), &evd_method(&o.method, n), true)
-                .unwrap_or_else(|e| fail(e));
+            let evd = with_trace(&o, || {
+                syevd(&mut a.clone(), &evd_method(&o.method, n), true)
+            })
+            .unwrap_or_else(|e| fail(e));
             let mut vals = Mat::zeros(n, 1);
             for (i, &v) in evd.eigenvalues.iter().enumerate() {
                 vals[(i, 0)] = v;
@@ -143,15 +188,21 @@ fn main() {
             );
         }
         "reduce" => {
-            let [input, output] = o.positional.as_slice() else { usage() };
+            let [input, output] = o.positional.as_slice() else {
+                usage()
+            };
             let a = load_symmetric(input);
             let n = a.nrows();
-            let red = tridiagonalize(&mut a.clone(), &tridiag_method(&o.method, n));
+            let red = with_trace(&o, || {
+                tridiagonalize(&mut a.clone(), &tridiag_method(&o.method, n))
+            });
             write_matrix_market(output, &red.tri.to_dense(), true).unwrap_or_else(|e| fail(e));
             eprintln!("wrote tridiagonal form ({n}x{n}) to {output}");
         }
         "generate" => {
-            let [output] = o.positional.as_slice() else { usage() };
+            let [output] = o.positional.as_slice() else {
+                usage()
+            };
             if o.n == 0 {
                 fail("--n is required for generate");
             }
@@ -169,11 +220,26 @@ fn main() {
             eprintln!("wrote {} ({}x{})", output, o.n, o.n);
         }
         "info" => {
-            let [input] = o.positional.as_slice() else { usage() };
+            let [input] = o.positional.as_slice() else {
+                usage()
+            };
             let m = read_matrix_market(input).unwrap_or_else(|e| fail(e));
             let n = m.nrows();
             println!("shape: {}x{}", n, m.ncols());
             println!("frobenius norm: {:.6e}", tg_matrix::frob_norm(&m));
+            let total = n * m.ncols();
+            let mut nnz = 0usize;
+            for j in 0..m.ncols() {
+                for i in 0..n {
+                    if m[(i, j)] != 0.0 {
+                        nnz += 1;
+                    }
+                }
+            }
+            println!(
+                "nnz: {nnz} / {total} (density {:.2}%)",
+                100.0 * nnz as f64 / total.max(1) as f64
+            );
             if m.ncols() == n {
                 println!("symmetry defect: {:.2e}", tg_matrix::sym_residual(&m));
                 // detect bandwidth
@@ -186,6 +252,12 @@ fn main() {
                     }
                 }
                 println!("bandwidth: {bw}");
+                // slots inside the detected band: diagonal + 2·Σ_{d=1..bw}(n−d)
+                let band_slots = n + 2 * (1..=bw).map(|d| n - d).sum::<usize>();
+                println!(
+                    "band occupancy: {:.2}% of {band_slots} in-band slots nonzero",
+                    100.0 * nnz as f64 / band_slots.max(1) as f64
+                );
             }
         }
         _ => usage(),

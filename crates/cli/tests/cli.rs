@@ -17,10 +17,21 @@ fn tmp(name: &str) -> PathBuf {
 fn generate_info_round_trip() {
     let f = tmp("g.mtx");
     let out = bin()
-        .args(["generate", f.to_str().unwrap(), "--n", "24", "--kind", "band:3"])
+        .args([
+            "generate",
+            f.to_str().unwrap(),
+            "--n",
+            "24",
+            "--kind",
+            "band:3",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = bin().args(["info", f.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -51,8 +62,8 @@ fn eigvals_sorted_and_method_consistent() {
         spectra.push(vals);
     }
     for k in 1..spectra.len() {
-        for i in 0..32 {
-            assert!((spectra[0][i] - spectra[k][i]).abs() < 1e-9);
+        for (s0, sk) in spectra[0].iter().zip(spectra[k].iter()) {
+            assert!((s0 - sk).abs() < 1e-9);
         }
     }
 }
@@ -62,7 +73,14 @@ fn reduce_preserves_frobenius_norm() {
     let f = tmp("r.mtx");
     let t = tmp("rt.mtx");
     bin()
-        .args(["generate", f.to_str().unwrap(), "--n", "20", "--kind", "spd"])
+        .args([
+            "generate",
+            f.to_str().unwrap(),
+            "--n",
+            "20",
+            "--kind",
+            "spd",
+        ])
         .output()
         .unwrap();
     let out = bin()
@@ -73,7 +91,11 @@ fn reduce_preserves_frobenius_norm() {
     let norm_of = |p: &PathBuf| -> f64 {
         let out = bin().args(["info", p.to_str().unwrap()]).output().unwrap();
         let text = String::from_utf8_lossy(&out.stdout).to_string();
-        let line = text.lines().find(|l| l.starts_with("frobenius")).unwrap().to_string();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("frobenius"))
+            .unwrap()
+            .to_string();
         line.split(": ").nth(1).unwrap().parse().unwrap()
     };
     let (n1, n2) = (norm_of(&f), norm_of(&t));
@@ -113,7 +135,10 @@ fn rejects_nonsymmetric_and_bad_args() {
         "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n2 1 3.0\n",
     )
     .unwrap();
-    let out = bin().args(["eigvals", f.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["eigvals", f.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // unknown subcommand
     let out = bin().args(["frobnicate"]).output().unwrap();

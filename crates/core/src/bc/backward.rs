@@ -78,11 +78,7 @@ impl BcResult {
         let mut blocks: Vec<(usize, WyPair)> = Vec::new();
         for chunk in sweeps.chunks(group) {
             let off0 = chunk.iter().map(|(o, _)| *o).min().unwrap();
-            let end = chunk
-                .iter()
-                .map(|(o, f)| o + f.w.nrows())
-                .max()
-                .unwrap();
+            let end = chunk.iter().map(|(o, f)| o + f.w.nrows()).max().unwrap();
             let mut merged: Option<WyPair> = None;
             for (o, f) in chunk {
                 let padded = pad(f, o - off0, end - off0);

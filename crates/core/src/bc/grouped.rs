@@ -41,12 +41,15 @@ pub fn bulge_chase_grouped(band: &SymBand, workers: usize, group: usize) -> BcRe
         let workers = workers.min(n_groups);
 
         let mut results: Vec<(usize, Vec<BcReflector>)> = Vec::with_capacity(n_sweeps);
-        crossbeam::thread::scope(|scope| {
+        // No per-sweep spans here: a worker interleaves its group's sweeps
+        // task-by-task, which RAII span nesting cannot represent.
+        let _span = tg_trace::span_cat("bc.grouped", "stage", None);
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let progress = &progress;
                 let shared = &shared;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut mine: Vec<(usize, Vec<BcReflector>)> = Vec::new();
                     let mut gidx = w;
                     while gidx < n_groups {
@@ -71,8 +74,7 @@ pub fn bulge_chase_grouped(band: &SymBand, workers: usize, group: usize) -> BcRe
                                 }
                                 let s = s0 + off;
                                 let col = cur.next_col();
-                                if s > 0 && progress[s - 1].load(Ordering::Acquire) <= col + 2 * b
-                                {
+                                if s > 0 && progress[s - 1].load(Ordering::Acquire) <= col + 2 * b {
                                     continue; // gate closed: retry next round
                                 }
                                 progress[s].store(col, Ordering::Release);
@@ -104,8 +106,7 @@ pub fn bulge_chase_grouped(band: &SymBand, workers: usize, group: usize) -> BcRe
             for h in handles {
                 results.extend(h.join().expect("grouped BC worker panicked"));
             }
-        })
-        .expect("grouped BC scope failed");
+        });
 
         for (s, swept) in results {
             reflectors[s] = swept;

@@ -97,14 +97,7 @@ pub unsafe fn reflector_from_col(
 ///
 /// # Safety
 /// Exclusive logical access to the block.
-pub unsafe fn left_apply(
-    band: &SharedBand,
-    tau: f64,
-    v: &[f64],
-    r0: usize,
-    c0: usize,
-    c1: usize,
-) {
+pub unsafe fn left_apply(band: &SharedBand, tau: f64, v: &[f64], r0: usize, c0: usize, c1: usize) {
     if tau == 0.0 || c1 < c0 {
         return;
     }
@@ -129,14 +122,7 @@ pub unsafe fn left_apply(
 ///
 /// # Safety
 /// Exclusive logical access to the block.
-pub unsafe fn right_apply(
-    band: &SharedBand,
-    tau: f64,
-    v: &[f64],
-    c0: usize,
-    r0: usize,
-    r1: usize,
-) {
+pub unsafe fn right_apply(band: &SharedBand, tau: f64, v: &[f64], c0: usize, r0: usize, r1: usize) {
     if tau == 0.0 || r1 < r0 {
         return;
     }
@@ -230,6 +216,7 @@ impl SweepCursor {
         let state = if s + 2 >= n || b <= 1 {
             CursorState::Done // nothing below the first subdiagonal
         } else {
+            tg_trace::add(tg_trace::Counter::Sweeps, 1);
             CursorState::Start
         };
         SweepCursor { n, b, s, state }
@@ -261,6 +248,9 @@ pub unsafe fn run_sweep_task(
     cur: &mut SweepCursor,
 ) -> Option<super::BcReflector> {
     let (n, b, s) = (cur.n, cur.b, cur.s);
+    if !cur.done() {
+        tg_trace::add(tg_trace::Counter::BulgeTasks, 1);
+    }
     match std::mem::replace(&mut cur.state, CursorState::Done) {
         CursorState::Done => None,
         CursorState::Start => {

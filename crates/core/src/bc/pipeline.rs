@@ -36,23 +36,24 @@ pub fn bulge_chase_pipelined(band: &SymBand, parallel_sweeps: usize) -> BcResult
     let mut reflectors: Vec<Vec<BcReflector>> = (0..n_sweeps).map(|_| Vec::new()).collect();
 
     if n_sweeps > 0 {
+        let _span = tg_trace::span_cat("bc.pipeline", "stage", Some(("n", n as u64)));
         let shared = SharedBand::new(&mut work);
         // progress[s] = first row/col index sweep s may still write;
         // initialized to the sweep's starting column.
-        let progress: Vec<AtomicUsize> =
-            (0..n_sweeps).map(AtomicUsize::new).collect();
+        let progress: Vec<AtomicUsize> = (0..n_sweeps).map(AtomicUsize::new).collect();
         let workers = parallel_sweeps.min(n_sweeps);
 
         let mut results: Vec<(usize, Vec<BcReflector>)> = Vec::with_capacity(n_sweeps);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let progress = &progress;
                 let shared = &shared;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut mine: Vec<(usize, Vec<BcReflector>)> = Vec::new();
                     let mut s = w;
                     while s < n_sweeps {
+                        let _sweep = tg_trace::span_cat("bc.sweep", "sweep", Some(("s", s as u64)));
                         let gate = |col: usize| {
                             if s > 0 {
                                 // Algorithm 2 line 5: spin until the previous
@@ -80,8 +81,7 @@ pub fn bulge_chase_pipelined(band: &SymBand, parallel_sweeps: usize) -> BcResult
             for h in handles {
                 results.extend(h.join().expect("bulge-chasing worker panicked"));
             }
-        })
-        .expect("bulge-chasing scope failed");
+        });
 
         for (s, swept) in results {
             reflectors[s] = swept;
@@ -111,8 +111,14 @@ mod tests {
             let reference = bulge_chase_seq(&band);
             for workers in [1usize, 2, 3, 8] {
                 let par = bulge_chase_pipelined(&band, workers);
-                assert_eq!(par.tri.d, reference.tri.d, "d differs (n={n},b={b},S={workers})");
-                assert_eq!(par.tri.e, reference.tri.e, "e differs (n={n},b={b},S={workers})");
+                assert_eq!(
+                    par.tri.d, reference.tri.d,
+                    "d differs (n={n},b={b},S={workers})"
+                );
+                assert_eq!(
+                    par.tri.e, reference.tri.e,
+                    "e differs (n={n},b={b},S={workers})"
+                );
                 // reflectors identical too (same τ, same v)
                 assert_eq!(par.reflectors.len(), reference.reflectors.len());
                 for (rs, ps) in reference.reflectors.iter().zip(&par.reflectors) {

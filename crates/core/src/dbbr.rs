@@ -40,7 +40,10 @@ pub struct DbbrConfig {
 impl DbbrConfig {
     /// Paper defaults scaled for the given problem size.
     pub fn new(b: usize, k: usize) -> Self {
-        assert!(b >= 1 && k >= b && k.is_multiple_of(b), "k must be a multiple of b");
+        assert!(
+            b >= 1 && k >= b && k.is_multiple_of(b),
+            "k must be a multiple of b"
+        );
         DbbrConfig {
             b,
             k,
@@ -55,6 +58,7 @@ impl DbbrConfig {
 pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
+    let _span = tg_trace::span_cat("reduce.dbbr", "stage", Some(("n", n as u64)));
     let (b, k) = (cfg.b, cfg.k);
     assert!(b >= 1 && k >= b && k % b == 0);
     let mut factors: Vec<(usize, WyPair)> = Vec::new();
@@ -103,9 +107,9 @@ pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
             }
             let y = pq.block.v.clone(); // m × kr
             let w = pq.block.w(); // m × kr
-            // ── corrected ZY computation against the *virtually updated*
-            //    trailing matrix Â = A − Σ pending (Z Yᵀ + Y Zᵀ):
-            //    U = Â W,  S = Wᵀ U,  Z = U − ½ Y S
+                                  // ── corrected ZY computation against the *virtually updated*
+                                  //    trailing matrix Â = A − Σ pending (Z Yᵀ + Y Zᵀ):
+                                  //    U = Â W,  S = Wᵀ U,  Z = U − ½ Y S
             let mut u = Mat::zeros(m, kr);
             {
                 let trail = a.view(j + b, j + b, m, m);
@@ -116,13 +120,37 @@ pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
                 let yp = ybig.view(j - i, 0, m, kacc);
                 // U −= Zp (Ypᵀ W) + Yp (Zpᵀ W)
                 let s1 = gemm_into(1.0, &yp, Op::Trans, &w.as_ref(), Op::NoTrans);
-                gemm(-1.0, &zp, Op::NoTrans, &s1.as_ref(), Op::NoTrans, 1.0, &mut u.as_mut());
+                gemm(
+                    -1.0,
+                    &zp,
+                    Op::NoTrans,
+                    &s1.as_ref(),
+                    Op::NoTrans,
+                    1.0,
+                    &mut u.as_mut(),
+                );
                 let s2 = gemm_into(1.0, &zp, Op::Trans, &w.as_ref(), Op::NoTrans);
-                gemm(-1.0, &yp, Op::NoTrans, &s2.as_ref(), Op::NoTrans, 1.0, &mut u.as_mut());
+                gemm(
+                    -1.0,
+                    &yp,
+                    Op::NoTrans,
+                    &s2.as_ref(),
+                    Op::NoTrans,
+                    1.0,
+                    &mut u.as_mut(),
+                );
             }
             let s = gemm_into(1.0, &w.as_ref(), Op::Trans, &u.as_ref(), Op::NoTrans);
             let mut z = u;
-            gemm(-0.5, &y.as_ref(), Op::NoTrans, &s.as_ref(), Op::NoTrans, 1.0, &mut z.as_mut());
+            gemm(
+                -0.5,
+                &y.as_ref(),
+                Op::NoTrans,
+                &s.as_ref(),
+                Op::NoTrans,
+                1.0,
+                &mut z.as_mut(),
+            );
 
             // ── line 6: append to the accumulated (Z, Y)
             let mut znew = Mat::zeros(sup, kacc + kr);
@@ -175,7 +203,10 @@ mod tests {
         cfg.square_syr2k = square;
         cfg.nb_syr2k = 8;
         let red = dbbr(&mut a, &cfg);
-        assert!(red.band.is_band_within(b, 1e-12), "not band-{b} (n={n},k={k})");
+        assert!(
+            red.band.is_band_within(b, 1e-12),
+            "not band-{b} (n={n},k={k})"
+        );
         let q = red.form_q(n);
         assert!(
             orthogonality_residual(&q) < 1e-12,

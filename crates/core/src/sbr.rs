@@ -56,13 +56,14 @@ pub fn band_reduce(a: &mut Mat, b: usize, nb_syr2k: usize) -> BandReduction {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
     assert!(b >= 1);
+    let _span = tg_trace::span_cat("reduce.sbr", "stage", Some(("n", n as u64)));
     let mut factors: Vec<(usize, WyPair)> = Vec::new();
 
     let mut j = 0;
     while j + b + 1 < n {
         let m = n - j - b;
         let bc = b.min(n - j); // panel width (always b here since j+b+1 < n)
-        // QR factorize the panel A[j+b .. n, j .. j+bc]
+                               // QR factorize the panel A[j+b .. n, j .. j+bc]
         let pq = {
             let mut panel = a.view_mut(j + b, j, m, bc);
             panel_qr(&mut panel)
@@ -75,12 +76,19 @@ pub fn band_reduce(a: &mut Mat, b: usize, nb_syr2k: usize) -> BandReduction {
         }
         let y = pq.block.v.clone(); // m × kr
         let w = pq.block.w(); // m × kr
-        // two-sided trailing update: A₂ ← A₂ − Z Yᵀ − Y Zᵀ (Equation 1)
+                              // two-sided trailing update: A₂ ← A₂ − Z Yᵀ − Y Zᵀ (Equation 1)
         {
             let trail = a.view(j + b, j + b, m, m);
             let z = compute_z(&trail, &w.as_ref(), &y.as_ref());
             let mut trail_mut = a.view_mut(j + b, j + b, m, m);
-            syr2k_blocked(-1.0, &z.as_ref(), &y.as_ref(), 1.0, &mut trail_mut, nb_syr2k);
+            syr2k_blocked(
+                -1.0,
+                &z.as_ref(),
+                &y.as_ref(),
+                1.0,
+                &mut trail_mut,
+                nb_syr2k,
+            );
         }
         factors.push((j + b, WyPair { w, y }));
         j += b;
@@ -98,12 +106,7 @@ mod tests {
     use super::*;
     use tg_matrix::{gen, orthogonality_residual, similarity_residual};
 
-    pub(crate) fn check_band_reduction(
-        a0: &Mat,
-        red: &BandReduction,
-        b: usize,
-        tol: f64,
-    ) {
+    pub(crate) fn check_band_reduction(a0: &Mat, red: &BandReduction, b: usize, tol: f64) {
         let n = a0.nrows();
         // band structure: entries beyond bandwidth b are exactly zero
         assert!(red.band.is_band_within(b, 1e-13), "not band-{b}");
@@ -121,7 +124,13 @@ mod tests {
 
     #[test]
     fn reduces_to_band_various() {
-        for (n, b, seed) in [(12usize, 2usize, 1u64), (20, 4, 2), (21, 4, 3), (16, 8, 4), (30, 3, 5)] {
+        for (n, b, seed) in [
+            (12usize, 2usize, 1u64),
+            (20, 4, 2),
+            (21, 4, 3),
+            (16, 8, 4),
+            (30, 3, 5),
+        ] {
             let a0 = gen::random_symmetric(n, seed);
             let mut a = a0.clone();
             let red = band_reduce(&mut a, b, 8);

@@ -110,6 +110,7 @@ pub fn sytrd_blocked(a: &mut Mat, nb: usize) -> SytrdResult {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
     assert!(nb >= 1);
+    let _span = tg_trace::span_cat("reduce.sytrd", "stage", Some(("n", n as u64)));
     let mut v = Mat::zeros(n, n.saturating_sub(1));
     let mut taus = vec![0.0; n.saturating_sub(1)];
 
@@ -296,10 +297,7 @@ mod tests {
         let q_ref = res.form_q();
         for nb in [1usize, 3, 8, 64] {
             let q_blk = res.form_q_blocked(nb);
-            assert!(
-                tg_matrix::max_abs_diff(&q_ref, &q_blk) < 1e-12,
-                "nb = {nb}"
-            );
+            assert!(tg_matrix::max_abs_diff(&q_ref, &q_blk) < 1e-12, "nb = {nb}");
         }
     }
 

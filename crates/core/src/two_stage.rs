@@ -76,6 +76,7 @@ impl TridiagResult {
     /// For the two-stage pipelines `Q = Q₁ Q₂`, so this applies the bulge-
     /// chasing factor first and then the band-reduction factor.
     pub fn apply_q(&self, c: &mut Mat) {
+        let _span = tg_trace::span_cat("backtransform", "stage", Some(("n", self.n as u64)));
         match &self.q {
             QFactors::Direct(res) => {
                 let q = res.form_q();
@@ -103,6 +104,8 @@ impl TridiagResult {
         match &self.q {
             QFactors::Direct(_) => self.apply_q(c),
             QFactors::TwoStage { factors, bc } => {
+                let _span =
+                    tg_trace::span_cat("backtransform", "stage", Some(("n", self.n as u64)));
                 bc.apply_q_left_blocked(c, false);
                 apply_q1_blocked(factors, c, target_k);
             }
@@ -219,8 +222,22 @@ mod tests {
 
     #[test]
     fn sbr_pipeline_seq_and_parallel() {
-        check_method(24, Method::Sbr { b: 3, parallel_sweeps: 1 }, 2);
-        check_method(24, Method::Sbr { b: 3, parallel_sweeps: 4 }, 3);
+        check_method(
+            24,
+            Method::Sbr {
+                b: 3,
+                parallel_sweeps: 1,
+            },
+            2,
+        );
+        check_method(
+            24,
+            Method::Sbr {
+                b: 3,
+                parallel_sweeps: 4,
+            },
+            3,
+        );
     }
 
     #[test]
@@ -241,7 +258,10 @@ mod tests {
         let a0 = gen::random_symmetric(n, 10);
         let methods = [
             Method::Direct { nb: 4 },
-            Method::Sbr { b: 4, parallel_sweeps: 2 },
+            Method::Sbr {
+                b: 4,
+                parallel_sweeps: 2,
+            },
             Method::Dbbr {
                 cfg: DbbrConfig::new(2, 4),
                 parallel_sweeps: 2,

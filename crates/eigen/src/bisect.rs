@@ -73,12 +73,11 @@ pub fn inverse_iteration(t: &Tridiagonal, lambda: f64, prev: &[Vec<f64>]) -> Vec
     if n == 1 {
         return vec![1.0];
     }
-    let norm = t
-        .d
-        .iter()
-        .chain(t.e.iter())
-        .fold(0.0f64, |m, &x| m.max(x.abs()))
-        .max(f64::MIN_POSITIVE);
+    let norm =
+        t.d.iter()
+            .chain(t.e.iter())
+            .fold(0.0f64, |m, &x| m.max(x.abs()))
+            .max(f64::MIN_POSITIVE);
     // tiny random-ish perturbation so (T − λI) is not exactly singular
     let shift = lambda + norm * f64::EPSILON;
     let mut v: Vec<f64> = (0..n)
@@ -104,12 +103,11 @@ pub fn bisect_evd(t: &Tridiagonal) -> (Vec<f64>, tg_matrix::Mat) {
     let n = t.n();
     let eigs = eigenvalues(t);
     let mut vecs = tg_matrix::Mat::zeros(n, n);
-    let norm = t
-        .d
-        .iter()
-        .chain(t.e.iter())
-        .fold(0.0f64, |m, &x| m.max(x.abs()))
-        .max(f64::MIN_POSITIVE);
+    let norm =
+        t.d.iter()
+            .chain(t.e.iter())
+            .fold(0.0f64, |m, &x| m.max(x.abs()))
+            .max(f64::MIN_POSITIVE);
     let cluster_tol = 1e-7 * norm;
     let mut cluster: Vec<Vec<f64>> = Vec::new();
     for k in 0..n {
@@ -139,7 +137,11 @@ fn solve_shifted(t: &Tridiagonal, sigma: f64, v: &mut [f64]) {
     for i in 0..n - 1 {
         if dd[i].abs() >= dl[i].abs() {
             // no row interchange
-            let piv = if dd[i].abs() > tiny { dd[i] } else { tiny.copysign(dd[i]) };
+            let piv = if dd[i].abs() > tiny {
+                dd[i]
+            } else {
+                tiny.copysign(dd[i])
+            };
             let m = dl[i] / piv;
             dd[i + 1] -= m * du[i];
             v[i + 1] -= m * v[i];
@@ -165,16 +167,28 @@ fn solve_shifted(t: &Tridiagonal, sigma: f64, v: &mut [f64]) {
     }
     // back substitution with the (up to) two superdiagonals
     let last = n - 1;
-    let piv = if dd[last].abs() > tiny { dd[last] } else { tiny.copysign(dd[last]) };
+    let piv = if dd[last].abs() > tiny {
+        dd[last]
+    } else {
+        tiny.copysign(dd[last])
+    };
     v[last] /= piv;
     if n >= 2 {
         let i = n - 2;
         let mut num = v[i] - du[i] * v[i + 1];
-        let piv = if dd[i].abs() > tiny { dd[i] } else { tiny.copysign(dd[i]) };
+        let piv = if dd[i].abs() > tiny {
+            dd[i]
+        } else {
+            tiny.copysign(dd[i])
+        };
         v[i] = num / piv;
         for i in (0..n.saturating_sub(2)).rev() {
             num = v[i] - du[i] * v[i + 1] - du2[i] * v[i + 2];
-            let piv = if dd[i].abs() > tiny { dd[i] } else { tiny.copysign(dd[i]) };
+            let piv = if dd[i].abs() > tiny {
+                dd[i]
+            } else {
+                tiny.copysign(dd[i])
+            };
             v[i] = num / piv;
         }
     }

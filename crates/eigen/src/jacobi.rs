@@ -143,14 +143,14 @@ mod tests {
         let n = 16;
         let a = gen::random_symmetric(n, 7);
         let (eigs, v) = jacobi_evd(&a).unwrap();
-        for k in 0..n {
+        for (k, &lam) in eigs.iter().enumerate() {
             let vk = v.col(k);
             for i in 0..n {
                 let mut s = 0.0;
                 for j in 0..n {
                     s += a[(i, j)] * vk[j];
                 }
-                assert!((s - eigs[k] * vk[i]).abs() < 1e-11);
+                assert!((s - lam * vk[i]).abs() < 1e-11);
             }
         }
     }

@@ -101,7 +101,10 @@ mod tests {
             let b = crate::sterf(&t).unwrap();
             let scale = b.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
             for (x, y) in a.iter().zip(&b) {
-                assert!((x - y).abs() < 1e-12 * scale * 40.0, "seed {seed}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-12 * scale * 40.0,
+                    "seed {seed}: {x} vs {y}"
+                );
             }
         }
     }
@@ -117,7 +120,9 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        assert!(sterf_pwk(&Tridiagonal::new(vec![], vec![])).unwrap().is_empty());
+        assert!(sterf_pwk(&Tridiagonal::new(vec![], vec![]))
+            .unwrap()
+            .is_empty());
         assert_eq!(
             sterf_pwk(&Tridiagonal::new(vec![2.0], vec![])).unwrap(),
             vec![2.0]

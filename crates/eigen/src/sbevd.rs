@@ -8,7 +8,7 @@
 
 use crate::dc::stedc;
 use crate::steqr::sterf;
-use crate::{Evd, EigenError};
+use crate::{EigenError, Evd};
 use tg_matrix::SymBand;
 use tridiag_core::bulge_chase_pipelined;
 
@@ -27,7 +27,11 @@ use tridiag_core::bulge_chase_pipelined;
 /// let evd = sbevd(&band, 4, true).unwrap();
 /// assert!(evd.residual(&dense) < 1e-11);
 /// ```
-pub fn sbevd(band: &SymBand, parallel_sweeps: usize, want_vectors: bool) -> Result<Evd, EigenError> {
+pub fn sbevd(
+    band: &SymBand,
+    parallel_sweeps: usize,
+    want_vectors: bool,
+) -> Result<Evd, EigenError> {
     let bc = bulge_chase_pipelined(band, parallel_sweeps.max(1));
     if !want_vectors {
         return Ok(Evd {

@@ -171,17 +171,14 @@ mod tests {
         assert!(tg_matrix::orthogonality_residual(&z) < 1e-13);
         // T z_k = λ_k z_k
         let dense = t.to_dense();
-        for k in 0..n {
+        for (k, &lam) in eigs.iter().enumerate() {
             let zk = z.col(k);
             for i in 0..n {
                 let mut s = 0.0;
                 for j in 0..n {
                     s += dense[(i, j)] * zk[j];
                 }
-                assert!(
-                    (s - eigs[k] * zk[i]).abs() < 1e-11,
-                    "residual at ({i},{k})"
-                );
+                assert!((s - lam * zk[i]).abs() < 1e-11, "residual at ({i},{k})");
             }
         }
         // ascending order
@@ -216,7 +213,7 @@ mod tests {
         let eigs = sterf(&t).unwrap();
         for (k, &lam) in eigs.iter().enumerate() {
             assert!(t.sturm_count(lam - 1e-8) <= k);
-            assert!(t.sturm_count(lam + 1e-8) >= k + 1);
+            assert!(t.sturm_count(lam + 1e-8) > k);
         }
     }
 

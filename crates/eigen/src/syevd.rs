@@ -129,20 +129,32 @@ impl Evd {
 /// assert!(evd.residual(&a) < 1e-11);
 /// ```
 pub fn syevd(a: &mut Mat, method: &EvdMethod, want_vectors: bool) -> Result<Evd, EigenError> {
-    let res = tridiagonalize(a, &method.to_tridiag_method());
+    let n = a.nrows();
+    let _evd = tg_trace::span_cat("evd", "stage", Some(("n", n as u64)));
+    let res = {
+        let _span = tg_trace::span("evd.reduce");
+        tridiagonalize(a, &method.to_tridiag_method())
+    };
     if !want_vectors {
+        let _span = tg_trace::span("evd.solve");
         return Ok(Evd {
             eigenvalues: sterf(&res.tri)?,
             eigenvectors: None,
         });
     }
-    let (eigenvalues, mut v) = stedc(&res.tri)?;
+    let (eigenvalues, mut v) = {
+        let _span = tg_trace::span("evd.solve");
+        stedc(&res.tri)?
+    };
     // back transformation: V ← Q V
-    match method {
-        EvdMethod::Proposed {
-            backtransform_k, ..
-        } => res.apply_q_blocked(&mut v, *backtransform_k),
-        _ => res.apply_q(&mut v),
+    {
+        let _span = tg_trace::span("evd.backtransform");
+        match method {
+            EvdMethod::Proposed {
+                backtransform_k, ..
+            } => res.apply_q_blocked(&mut v, *backtransform_k),
+            _ => res.apply_q(&mut v),
+        }
     }
     Ok(Evd {
         eigenvalues,
@@ -203,10 +215,9 @@ mod tests {
     fn clustered_spectrum_orthogonality() {
         // three tight clusters — stresses deflation + Gu-Eisenstat path
         let n = 45;
-        let mut eigs = vec![0.0; n];
-        for i in 0..n {
-            eigs[i] = (i / 15) as f64 + 1e-10 * (i % 15) as f64;
-        }
+        let eigs: Vec<f64> = (0..n)
+            .map(|i| (i / 15) as f64 + 1e-10 * (i % 15) as f64)
+            .collect();
         let a0 = gen::with_spectrum(&eigs, 9);
         let mut a = a0.clone();
         let evd = syevd(&mut a, &EvdMethod::proposed_default(n), true).unwrap();

@@ -14,12 +14,7 @@ use tridiag_core::tridiagonalize;
 
 /// Computes eigenpairs with 0-based indices in `index_lo .. index_hi`
 /// (ascending), with eigenvectors.
-pub fn syevx_by_index(
-    a: &mut Mat,
-    method: &EvdMethod,
-    index_lo: usize,
-    index_hi: usize,
-) -> Evd {
+pub fn syevx_by_index(a: &mut Mat, method: &EvdMethod, index_lo: usize, index_hi: usize) -> Evd {
     let n = a.nrows();
     assert!(index_lo <= index_hi && index_hi <= n);
     let red = tridiagonalize(a, &method.tridiag_method());
@@ -112,12 +107,7 @@ mod tests {
         let n = 40;
         let a0 = gen::random_symmetric(n, 3);
         let full = crate::syevd(&mut a0.clone(), &EvdMethod::proposed_default(n), false).unwrap();
-        let part = syevx_by_index(
-            &mut a0.clone(),
-            &EvdMethod::proposed_default(n),
-            10,
-            20,
-        );
+        let part = syevx_by_index(&mut a0.clone(), &EvdMethod::proposed_default(n), 10, 20);
         assert_eq!(part.eigenvalues.len(), 10);
         for (i, &lam) in part.eigenvalues.iter().enumerate() {
             assert!((lam - full.eigenvalues[10 + i]).abs() < 1e-9);
@@ -130,10 +120,7 @@ mod tests {
         let a0 = gen::random_symmetric(n, 7);
         let part = smallest_k(&mut a0.clone(), &EvdMethod::proposed_default(n), 5);
         let v = part.eigenvectors.as_ref().unwrap();
-        let scale = part
-            .eigenvalues
-            .iter()
-            .fold(1.0f64, |m, &x| m.max(x.abs()));
+        let scale = part.eigenvalues.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
         for j in 0..5 {
             let r = residual(&a0, part.eigenvalues[j], v.col(j));
             assert!(r < 1e-8 * scale * n as f64, "pair {j}: {r}");

@@ -9,7 +9,10 @@
 //! (`xᵢᵀ B xⱼ = δᵢⱼ`).
 
 use crate::{syevd, Evd, EvdMethod};
-use tg_blas::triangular::{potrf_lower, trsm_lower_left, trsm_lower_trans_left, trsm_lower_trans_right, NotPositiveDefinite};
+use tg_blas::triangular::{
+    potrf_lower, trsm_lower_left, trsm_lower_trans_left, trsm_lower_trans_right,
+    NotPositiveDefinite,
+};
 use tg_matrix::Mat;
 
 /// Error from [`sygvd`].
@@ -36,12 +39,7 @@ impl std::error::Error for SygvError {}
 ///
 /// Returns eigenvalues ascending; eigenvectors (if requested) are
 /// `B`-orthonormal columns.
-pub fn sygvd(
-    a: &Mat,
-    b: &Mat,
-    method: &EvdMethod,
-    want_vectors: bool,
-) -> Result<Evd, SygvError> {
+pub fn sygvd(a: &Mat, b: &Mat, method: &EvdMethod, want_vectors: bool) -> Result<Evd, SygvError> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
     assert_eq!(b.nrows(), n);
@@ -62,7 +60,7 @@ pub fn sygvd(
     c.mirror_lower();
     trsm_lower_left(&l, &mut c.as_mut()); // C ← L⁻¹ A
     trsm_lower_trans_right(&l, &mut c.as_mut()); // C ← (L⁻¹A) L⁻ᵀ
-    // enforce exact symmetry (roundoff from the two solves)
+                                                 // enforce exact symmetry (roundoff from the two solves)
     for j in 0..n {
         for i in 0..j {
             let v = 0.5 * (c[(i, j)] + c[(j, i)]);

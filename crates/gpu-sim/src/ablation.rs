@@ -81,13 +81,23 @@ pub fn ladder(dev: &Device, n: usize) -> Vec<AblationRow> {
         {
             let s = dbbr_time_with_cublas_syr2k(dev, n, 64, 1024);
             let bc = compose::bc_gpu_time(dev, n, 64, false, None);
-            row("DBBR(b=64,k=1024, cuBLAS syr2k) + naive GPU BC".into(), n, s, bc)
+            row(
+                "DBBR(b=64,k=1024, cuBLAS syr2k) + naive GPU BC".into(),
+                n,
+                s,
+                bc,
+            )
         },
         // + the Figure-7 square-block syr2k
         {
             let s = compose::dbbr_time(dev, n, 64, 1024);
             let bc = compose::bc_gpu_time(dev, n, 64, false, None);
-            row("DBBR(b=64,k=1024, square syr2k) + naive GPU BC".into(), n, s, bc)
+            row(
+                "DBBR(b=64,k=1024, square syr2k) + naive GPU BC".into(),
+                n,
+                s,
+                bc,
+            )
         },
         // + shrink the band to b = 32 (BC gets cheaper, syr2k stays wide)
         {
@@ -98,7 +108,12 @@ pub fn ladder(dev: &Device, n: usize) -> Vec<AblationRow> {
         // + optimized BC kernel (paper's final configuration)
         {
             let (s, bc) = compose::tridiag_ours(dev, n, 32, 1024);
-            row("DBBR(b=32,k=1024) + optimized GPU BC  [paper]".into(), n, s, bc)
+            row(
+                "DBBR(b=32,k=1024) + optimized GPU BC  [paper]".into(),
+                n,
+                s,
+                bc,
+            )
         },
     ]
 }
@@ -150,10 +165,7 @@ mod tests {
         let n = 49152;
         let with_cublas = dbbr_time_with_cublas_syr2k(&dev, n, 64, 1024);
         let with_square = compose::dbbr_time(&dev, n, 64, 1024);
-        assert!(
-            with_square < with_cublas,
-            "{with_square} !< {with_cublas}"
-        );
+        assert!(with_square < with_cublas, "{with_square} !< {with_cublas}");
     }
 
     #[test]
@@ -164,7 +176,10 @@ mod tests {
             .iter()
             .min_by(|a, b| a.total_s.partial_cmp(&b.total_s).unwrap())
             .unwrap();
-        let paper = rows.iter().find(|r| r.config.contains("b=32") && r.config.contains("k=1024")).unwrap();
+        let paper = rows
+            .iter()
+            .find(|r| r.config.contains("b=32") && r.config.contains("k=1024"))
+            .unwrap();
         // the paper's (32, 1024) is within 25 % of the model's optimum
         assert!(
             paper.total_s <= best.total_s * 1.25,

@@ -111,8 +111,22 @@ pub fn anchor_report() -> Vec<Anchor> {
         false,
     );
     let (sbr, bc) = compose::tridiag_magma(&h, n49, 64);
-    push("§3.2", "MAGMA Dsy2sb (b=64) at n=49152", 22.1, sbr, "s", true);
-    push("§3.2", "MAGMA Dsb2st (b=64) at n=49152", 23.9, bc, "s", true);
+    push(
+        "§3.2",
+        "MAGMA Dsy2sb (b=64) at n=49152",
+        22.1,
+        sbr,
+        "s",
+        true,
+    );
+    push(
+        "§3.2",
+        "MAGMA Dsb2st (b=64) at n=49152",
+        23.9,
+        bc,
+        "s",
+        true,
+    );
     push(
         "§3.2",
         "MAGMA Dsy2sb (b=128) at n=49152",

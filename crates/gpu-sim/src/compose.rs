@@ -98,10 +98,7 @@ pub fn tridiag_magma(dev: &Device, n: usize, b: usize) -> (f64, f64) {
 
 /// The proposed pipeline with `b = 32`, `k = 1024` (paper defaults).
 pub fn tridiag_ours(dev: &Device, n: usize, b: usize, k: usize) -> (f64, f64) {
-    (
-        dbbr_time(dev, n, b, k),
-        bc_gpu_time(dev, n, b, true, None),
-    )
+    (dbbr_time(dev, n, b, k), bc_gpu_time(dev, n, b, true, None))
 }
 
 /// Back transformation, conventional `ormqr` order (Figure 14 baseline):

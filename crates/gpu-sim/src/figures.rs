@@ -115,17 +115,19 @@ pub struct Fig8Row {
 pub fn fig8() -> Vec<Fig8Row> {
     let dev = Device::h100();
     let k = 1024;
-    [4096usize, 8192, 16384, 24576, 32768, 40960, 49152, 57344, 65536]
-        .iter()
-        .map(|&n| {
-            let f = kernels::syr2k_flops(n, k);
-            Fig8Row {
-                n,
-                cublas_tflops: f / kernels::cublas_syr2k_time(&dev, n, k) / 1e12,
-                ours_tflops: f / kernels::ours_syr2k_time(&dev, n, k) / 1e12,
-            }
-        })
-        .collect()
+    [
+        4096usize, 8192, 16384, 24576, 32768, 40960, 49152, 57344, 65536,
+    ]
+    .iter()
+    .map(|&n| {
+        let f = kernels::syr2k_flops(n, k);
+        Fig8Row {
+            n,
+            cublas_tflops: f / kernels::cublas_syr2k_time(&dev, n, k) / 1e12,
+            ours_tflops: f / kernels::ours_syr2k_time(&dev, n, k) / 1e12,
+        }
+    })
+    .collect()
 }
 
 /// Figure 9: DBBR vs MAGMA SBR (both `b = 64`) on H100.
@@ -335,7 +337,11 @@ mod tests {
     fn fig4_shares() {
         let f = fig4();
         // §3.1: tridiagonalization is > 97 % of cuSOLVER's EVD
-        assert!(f.cusolver_tridiag_share > 0.95, "{}", f.cusolver_tridiag_share);
+        assert!(
+            f.cusolver_tridiag_share > 0.95,
+            "{}",
+            f.cusolver_tridiag_share
+        );
         // §3.1: BC is ≈ 48 % of MAGMA's two-stage tridiagonalization
         assert!(
             (0.40..0.58).contains(&f.magma_bc_share_of_tridiag),
@@ -408,7 +414,12 @@ mod tests {
     #[test]
     fn fig14_band() {
         for r in fig14() {
-            assert!((1.1..2.4).contains(&r.speedup), "n={} {:.2}", r.n, r.speedup);
+            assert!(
+                (1.1..2.4).contains(&r.speedup),
+                "n={} {:.2}",
+                r.n,
+                r.speedup
+            );
         }
     }
 
@@ -416,7 +427,11 @@ mod tests {
     fn fig15_h100_headline() {
         let rows = fig15(&Device::h100(), &[16384, 32768, 49152]);
         let last = rows.last().unwrap();
-        assert!((16.0..24.0).contains(&last.ours_tflops), "{}", last.ours_tflops);
+        assert!(
+            (16.0..24.0).contains(&last.ours_tflops),
+            "{}",
+            last.ours_tflops
+        );
         assert!(last.ours_tflops > 4.0 * last.magma_tflops);
         assert!(last.magma_tflops > last.cusolver_tflops);
     }
@@ -436,10 +451,17 @@ mod tests {
     fn fig16_headline() {
         let rows = fig16();
         let novec: Vec<_> = rows.iter().filter(|r| !r.vectors).collect();
-        let best_cus = novec.iter().map(|r| r.speedup_vs_cusolver).fold(0.0, f64::max);
+        let best_cus = novec
+            .iter()
+            .map(|r| r.speedup_vs_cusolver)
+            .fold(0.0, f64::max);
         // vs MAGMA compare at the anchor size (small-n ratios are dominated
         // by MAGMA's cuBLAS call floors in the model)
-        let mag_49k = novec.iter().find(|r| r.n == 49152).unwrap().speedup_vs_magma;
+        let mag_49k = novec
+            .iter()
+            .find(|r| r.n == 49152)
+            .unwrap()
+            .speedup_vs_magma;
         assert!((4.5..8.0).contains(&best_cus), "{best_cus:.1}");
         assert!((2.8..5.0).contains(&mag_49k), "{mag_49k:.1}");
         // small-n crossover: at 4096 without vectors cuSOLVER wins

@@ -27,6 +27,7 @@ pub mod compose;
 pub mod device;
 pub mod figures;
 pub mod kernels;
+pub mod model_check;
 pub mod pipeline;
 pub mod roofline;
 pub mod tune;

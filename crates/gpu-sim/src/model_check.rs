@@ -1,0 +1,228 @@
+//! Model-vs-measured cross-check.
+//!
+//! The cost models in [`crate::kernels`] are built on analytic FLOP and
+//! byte counts (`syr2k_flops`, the `2mnk` GEMM convention, the
+//! `8(mk + kn + 2mn)` GEMM traffic of `gemm_time`). The `tg-trace`
+//! instrumentation inside `tg-blas` counts the *same* quantities at kernel
+//! granularity while the real arithmetic runs. This module executes the
+//! actual kernels under a trace session and compares the two, flagging any
+//! disagreement above 1 % — a drift alarm for both the instrumentation and
+//! the models.
+//!
+//! Each check runs its own [`tg_trace::TraceSession`]; do not call these
+//! functions while another session is already open on this thread (the
+//! global session lock is not reentrant).
+
+use crate::kernels;
+use tg_blas::Op;
+use tg_matrix::gen;
+use tg_trace::{Counter, TraceSession};
+
+/// Tolerated relative disagreement between model and measurement.
+pub const TOLERANCE: f64 = 0.01;
+
+/// One compared quantity for one kernel invocation.
+pub struct ModelRow {
+    /// Kernel under test (`syr2k_blocked`, `syr2k_square`, `gemm`).
+    pub kernel: &'static str,
+    /// Invocation shape `(n, b, k)` as passed to [`model_vs_measured`].
+    pub shape: (usize, usize, usize),
+    /// Compared quantity (`flops` or `bytes`).
+    pub quantity: &'static str,
+    /// Value counted by the `tg-trace` instrumentation.
+    pub measured: f64,
+    /// Value predicted by the analytic formula.
+    pub modeled: f64,
+}
+
+impl ModelRow {
+    /// Relative error of the measurement against the model.
+    pub fn rel_err(&self) -> f64 {
+        if self.modeled == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.modeled).abs() / self.modeled
+        }
+    }
+
+    /// Whether the disagreement is within [`TOLERANCE`].
+    pub fn within_tolerance(&self) -> bool {
+        self.rel_err() <= TOLERANCE
+    }
+}
+
+fn measure<F: FnOnce()>(f: F) -> tg_trace::Trace {
+    let session = TraceSession::begin();
+    f();
+    session.finish()
+}
+
+/// Runs both `syr2k` variants on an `n × n` update of rank `2k` and
+/// compares counted FLOPs against [`kernels::syr2k_flops`].
+pub fn check_syr2k(n: usize, k: usize) -> Vec<ModelRow> {
+    let z = gen::random(n, k, 11);
+    let y = gen::random(n, k, 12);
+    let modeled = kernels::syr2k_flops(n, k);
+    let mut rows = Vec::new();
+
+    let mut c = gen::random_symmetric(n, 13);
+    let t = measure(|| {
+        tg_blas::syr2k_blocked(-1.0, &z.as_ref(), &y.as_ref(), 1.0, &mut c.as_mut(), 32);
+    });
+    rows.push(ModelRow {
+        kernel: "syr2k_blocked",
+        shape: (n, 0, k),
+        quantity: "flops",
+        measured: t.total(Counter::Flops) as f64,
+        modeled,
+    });
+
+    let mut c = gen::random_symmetric(n, 13);
+    let t = measure(|| {
+        tg_blas::syr2k_square(-1.0, &z.as_ref(), &y.as_ref(), 1.0, &mut c.as_mut(), 32, 2);
+    });
+    rows.push(ModelRow {
+        kernel: "syr2k_square",
+        shape: (n, 0, k),
+        quantity: "flops",
+        measured: t.total(Counter::Flops) as f64,
+        modeled,
+    });
+    rows
+}
+
+/// Runs a real `m × n × k` GEMM and compares counted FLOPs against the
+/// `2mnk` convention and counted bytes (read + written) against the
+/// `8(mk + kn + 2mn)` traffic that [`kernels::gemm_time`] charges.
+pub fn check_gemm(m: usize, n: usize, k: usize) -> Vec<ModelRow> {
+    let a = gen::random(m, k, 21);
+    let b = gen::random(k, n, 22);
+    let t = measure(|| {
+        let _ = tg_blas::gemm_into(1.0, &a.as_ref(), Op::NoTrans, &b.as_ref(), Op::NoTrans);
+    });
+    let bytes_measured = t.total(Counter::BytesRead) + t.total(Counter::BytesWritten);
+    vec![
+        ModelRow {
+            kernel: "gemm",
+            shape: (m, n, k),
+            quantity: "flops",
+            measured: t.total(Counter::Flops) as f64,
+            modeled: 2.0 * m as f64 * n as f64 * k as f64,
+        },
+        ModelRow {
+            kernel: "gemm",
+            shape: (m, n, k),
+            quantity: "bytes",
+            measured: bytes_measured as f64,
+            modeled: 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64),
+        },
+    ]
+}
+
+/// Runs the full cross-check over a list of `(n, b, k)` shapes: each shape
+/// contributes both `syr2k` variants at `(n, k)` and a GEMM at
+/// `(m = n, n = b, k)` — the panel-update shape that dominates DBBR.
+pub fn model_vs_measured(shapes: &[(usize, usize, usize)]) -> Vec<ModelRow> {
+    let mut rows = Vec::new();
+    for &(n, b, k) in shapes {
+        rows.extend(check_syr2k(n, k));
+        rows.extend(check_gemm(n, b, k));
+    }
+    rows
+}
+
+/// Renders the comparison as a plain-text table; rows beyond [`TOLERANCE`]
+/// are flagged.
+pub fn report(rows: &[ModelRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>16} {:>8} {:>16} {:>16} {:>8}\n",
+        "kernel", "shape (n,b,k)", "qty", "measured", "model", "err %"
+    ));
+    let mut bad = 0usize;
+    for r in rows {
+        let flag = if r.within_tolerance() {
+            ""
+        } else {
+            bad += 1;
+            "  <-- >1% MISMATCH"
+        };
+        out.push_str(&format!(
+            "{:<14} {:>16} {:>8} {:>16.0} {:>16.0} {:>8.3}{}\n",
+            r.kernel,
+            format!("{:?}", r.shape),
+            r.quantity,
+            r.measured,
+            r.modeled,
+            r.rel_err() * 100.0,
+            flag
+        ));
+    }
+    if bad == 0 {
+        out.push_str(&format!(
+            "all {} rows agree within {:.0}%\n",
+            rows.len(),
+            TOLERANCE * 100.0
+        ));
+    } else {
+        out.push_str(&format!(
+            "{bad} of {} rows exceed {:.0}% disagreement\n",
+            rows.len(),
+            TOLERANCE * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acceptance criterion: model vs measured agrees within 1 % on at
+    /// least two `(n, b, k)` shapes.
+    #[test]
+    fn model_matches_measured_on_two_shapes() {
+        let rows = model_vs_measured(&[(64, 8, 16), (96, 12, 24)]);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(
+                r.within_tolerance(),
+                "{} {:?} {}: measured {} vs model {} ({:.2}%)",
+                r.kernel,
+                r.shape,
+                r.quantity,
+                r.measured,
+                r.modeled,
+                r.rel_err() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn report_flags_mismatch() {
+        let rows = vec![
+            ModelRow {
+                kernel: "gemm",
+                shape: (8, 8, 8),
+                quantity: "flops",
+                measured: 1024.0,
+                modeled: 1024.0,
+            },
+            ModelRow {
+                kernel: "gemm",
+                shape: (8, 8, 8),
+                quantity: "bytes",
+                measured: 1050.0,
+                modeled: 1000.0,
+            },
+        ];
+        let text = report(&rows);
+        assert!(text.contains("MISMATCH"));
+        assert!(text.contains("1 of 2 rows"));
+        assert!(!report(&rows[..1]).contains("MISMATCH"));
+    }
+}

@@ -55,6 +55,7 @@ pub fn simulate(n: usize, b: usize, s_max: usize, t_bulge: f64) -> PipelineStats
         }
         let slot = s % s_max;
         let mut t = slot_free[slot];
+        let mut sweep_start = t;
         let mut cur = Vec::with_capacity(tasks);
         for j in 0..tasks {
             // law ①: sweep s starts after sweep s−1 processed 3 bulges,
@@ -68,6 +69,9 @@ pub fn simulate(n: usize, b: usize, s_max: usize, t_bulge: f64) -> PipelineStats
                     t = t.max(*prev.last().unwrap());
                 }
             }
+            if j == 0 {
+                sweep_start = t;
+            }
             t += t_bulge;
             cur.push(t);
         }
@@ -76,6 +80,15 @@ pub fn simulate(n: usize, b: usize, s_max: usize, t_bulge: f64) -> PipelineStats
         makespan = makespan.max(t);
         slot_free[slot] = t;
         prev = cur;
+        // one virtual-timeline event per sweep; its slot plays the tid
+        tg_trace::record_virtual(
+            "sim.sweep",
+            "sim",
+            Some(("s", s as u64)),
+            slot as u64,
+            sweep_start * 1e6,
+            (t - sweep_start) * 1e6,
+        );
     }
 
     let bytes = total_tasks as f64 * bc_bytes_per_task(b);
@@ -170,6 +183,29 @@ mod tests {
         let t64 = simulate(n, b, 64, 1e-5).throughput_tbs;
         assert!(t16 > 5.0 * t1);
         assert!(t64 >= t16);
+    }
+
+    #[test]
+    fn emits_virtual_sweep_events_when_traced() {
+        let session = tg_trace::TraceSession::begin();
+        let st = simulate(64, 8, 4, 1e-6);
+        let trace = session.finish();
+        let sweeps: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "sim.sweep")
+            .collect();
+        // every non-empty sweep of n = 64 emits one event
+        assert_eq!(sweeps.len(), 62);
+        assert!(sweeps.iter().all(|e| e.virtual_time));
+        // the virtual timeline ends exactly at the reported makespan
+        let end = sweeps
+            .iter()
+            .map(|e| e.ts_us + e.dur_us)
+            .fold(0.0f64, f64::max);
+        assert!((end - st.makespan_s * 1e6).abs() < 1e-9);
+        // s_max = 4 slots ⇒ tids 0..4 only
+        assert!(sweeps.iter().all(|e| e.tid < 4));
     }
 
     #[test]

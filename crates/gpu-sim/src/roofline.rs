@@ -65,8 +65,7 @@ pub fn chart(dev: &Device, n: usize) -> Vec<RooflinePoint> {
     let mut out = Vec::new();
     for &k in &[16usize, 64, 128, 1024, 4096] {
         let ai = syr2k_ai(n, k);
-        let model =
-            kernels::syr2k_flops(n, k) / kernels::cublas_syr2k_time(dev, n, k) / 1e12;
+        let model = kernels::syr2k_flops(n, k) / kernels::cublas_syr2k_time(dev, n, k) / 1e12;
         out.push(RooflinePoint {
             kernel: format!("cublas_syr2k k={k}"),
             ai,

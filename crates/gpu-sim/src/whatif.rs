@@ -39,7 +39,10 @@ pub fn sweep(base: &Device, n: usize) -> Vec<WhatIfRow> {
     let scenarios: Vec<(String, Device)> = vec![
         ("baseline".into(), base.clone()),
         ("2x FP64 peak".into(), scaled_device(base, 2.0, 1.0, 1.0)),
-        ("2x memory bandwidth".into(), scaled_device(base, 1.0, 2.0, 1.0)),
+        (
+            "2x memory bandwidth".into(),
+            scaled_device(base, 1.0, 2.0, 1.0),
+        ),
         ("2x SM count".into(), scaled_device(base, 1.0, 1.0, 2.0)),
         ("2x everything".into(), scaled_device(base, 2.0, 2.0, 2.0)),
     ];
@@ -84,7 +87,10 @@ mod tests {
         // so doubling bandwidth beats doubling FP64 peak
         let rows = sweep(&Device::h100(), 49152);
         let peak = rows.iter().find(|r| r.scenario.contains("FP64")).unwrap();
-        let bw = rows.iter().find(|r| r.scenario.contains("bandwidth")).unwrap();
+        let bw = rows
+            .iter()
+            .find(|r| r.scenario.contains("bandwidth"))
+            .unwrap();
         assert!(
             bw.stage1_s < peak.stage1_s,
             "bw {} vs peak {}",
@@ -105,7 +111,10 @@ mod tests {
     #[test]
     fn doubling_everything_compounds() {
         let rows = sweep(&Device::h100(), 49152);
-        let all = rows.iter().find(|r| r.scenario.contains("everything")).unwrap();
+        let all = rows
+            .iter()
+            .find(|r| r.scenario.contains("everything"))
+            .unwrap();
         assert!(all.speedup_vs_base > 1.5);
     }
 }

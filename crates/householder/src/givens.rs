@@ -16,10 +16,18 @@ pub struct Givens {
 /// Computes the rotation annihilating `b` against `a` (overflow-safe).
 pub fn make_givens(a: f64, b: f64) -> Givens {
     if b == 0.0 {
-        return Givens { c: 1.0, s: 0.0, r: a };
+        return Givens {
+            c: 1.0,
+            s: 0.0,
+            r: a,
+        };
     }
     if a == 0.0 {
-        return Givens { c: 0.0, s: 1.0, r: b };
+        return Givens {
+            c: 0.0,
+            s: 1.0,
+            r: b,
+        };
     }
     let scale = a.abs().max(b.abs());
     let (an, bn) = (a / scale, b / scale);
@@ -56,10 +64,19 @@ mod tests {
 
     #[test]
     fn annihilates_second_component() {
-        for (a, b) in [(3.0, 4.0), (-1.0, 2.0), (1e-300, 1e-300), (5.0, 0.0), (0.0, 2.0)] {
+        for (a, b) in [
+            (3.0, 4.0),
+            (-1.0, 2.0),
+            (1e-300, 1e-300),
+            (5.0, 0.0),
+            (0.0, 2.0),
+        ] {
             let g = make_givens(a, b);
             let (r, z) = g.apply(a, b);
-            assert!((r - g.r).abs() <= 1e-12 * g.r.abs().max(1e-300), "r for ({a},{b})");
+            assert!(
+                (r - g.r).abs() <= 1e-12 * g.r.abs().max(1e-300),
+                "r for ({a},{b})"
+            );
             assert!(z.abs() <= 1e-12 * g.r.abs().max(1e-300), "z for ({a},{b})");
             // orthogonality: c² + s² = 1
             assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-14);

@@ -24,13 +24,19 @@ pub struct Reflector {
 pub fn make_reflector(x: &mut [f64]) -> Reflector {
     let n = x.len();
     if n == 0 {
-        return Reflector { tau: 0.0, beta: 0.0 };
+        return Reflector {
+            tau: 0.0,
+            beta: 0.0,
+        };
     }
     let alpha = x[0];
     let xnorm = nrm2(&x[1..]);
     if xnorm == 0.0 {
         // already of the form β e₁
-        return Reflector { tau: 0.0, beta: alpha };
+        return Reflector {
+            tau: 0.0,
+            beta: alpha,
+        };
     }
     let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
     let tau = (beta - alpha) / beta;

@@ -248,8 +248,7 @@ mod tests {
     fn recursive_matches_sequential_products() {
         let n = 16;
         for p in [1usize, 2, 3, 4, 5, 7] {
-            let factors: Vec<WyPair> =
-                (0..p).map(|i| random_factor(n, 2, 10 + i as u64)).collect();
+            let factors: Vec<WyPair> = (0..p).map(|i| random_factor(n, 2, 10 + i as u64)).collect();
             let merged = compute_w_recursive(&factors);
             let expect = dense_product(&factors, n);
             assert!(

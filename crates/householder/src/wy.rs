@@ -34,7 +34,7 @@ impl WyBlock {
                 let vj = v.view(0, j, v.nrows(), 1);
                 let v0 = v.view(0, 0, v.nrows(), j);
                 let mut w = gemm_into(-tau, &v0, Op::Trans, &vj, Op::NoTrans); // j×1
-                // w ← T(0..j,0..j) · w  (upper-triangular in-place trmv)
+                                                                               // w ← T(0..j,0..j) · w  (upper-triangular in-place trmv)
                 for i in 0..j {
                     let mut s = 0.0;
                     for l in i..j {
@@ -62,7 +62,13 @@ impl WyBlock {
 
     /// The paper's `W = V T` (so `Q = I − W Yᵀ` with `Y = V`).
     pub fn w(&self) -> Mat {
-        gemm_into(1.0, &self.v.as_ref(), Op::NoTrans, &self.t.as_ref(), Op::NoTrans)
+        gemm_into(
+            1.0,
+            &self.v.as_ref(),
+            Op::NoTrans,
+            &self.t.as_ref(),
+            Op::NoTrans,
+        )
     }
 
     /// `C ← Q C` (`trans = false`) or `C ← Qᵀ C` (`trans = true`).
@@ -73,7 +79,15 @@ impl WyBlock {
         // X ← op(T) X
         self.trmm_left(&mut x, trans);
         // C ← C − V X
-        gemm(-1.0, &self.v.as_ref(), Op::NoTrans, &x.as_ref(), Op::NoTrans, 1.0, c);
+        gemm(
+            -1.0,
+            &self.v.as_ref(),
+            Op::NoTrans,
+            &x.as_ref(),
+            Op::NoTrans,
+            1.0,
+            c,
+        );
     }
 
     /// `C ← C Q` (`trans = false`) or `C ← C Qᵀ` (`trans = true`).
@@ -84,7 +98,15 @@ impl WyBlock {
         // X ← X op(T): right-multiplication ⇒ transpose trick
         self.trmm_right(&mut x, trans);
         // C ← C − X Vᵀ
-        gemm(-1.0, &x.as_ref(), Op::NoTrans, &self.v.as_ref(), Op::Trans, 1.0, c);
+        gemm(
+            -1.0,
+            &x.as_ref(),
+            Op::NoTrans,
+            &self.v.as_ref(),
+            Op::Trans,
+            1.0,
+            c,
+        );
     }
 
     /// Materializes `Q = I − V T Vᵀ` (test/debug helper).

@@ -272,7 +272,11 @@ impl<'a> MatRef<'a> {
     pub fn submatrix(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a> {
         assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view oob");
         // empty views of an empty buffer must not index past the end
-        let off = if nr > 0 && nc > 0 { c0 * self.ld + r0 } else { 0 };
+        let off = if nr > 0 && nc > 0 {
+            c0 * self.ld + r0
+        } else {
+            0
+        };
         let end = if nr > 0 && nc > 0 {
             off + (nc - 1) * self.ld + nr
         } else {
@@ -389,7 +393,11 @@ impl<'a> MatMut<'a> {
     pub fn submatrix_mut(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a> {
         assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view oob");
         // empty views of an empty buffer must not index past the end
-        let off = if nr > 0 && nc > 0 { c0 * self.ld + r0 } else { 0 };
+        let off = if nr > 0 && nc > 0 {
+            c0 * self.ld + r0
+        } else {
+            0
+        };
         let end = if nr > 0 && nc > 0 {
             off + (nc - 1) * self.ld + nr
         } else {
@@ -534,7 +542,13 @@ mod tests {
 
     #[test]
     fn mirror_lower_symmetrizes() {
-        let mut m = Mat::from_fn(4, 4, |i, j| if i >= j { (i + 1) as f64 * (j + 1) as f64 } else { -99.0 });
+        let mut m = Mat::from_fn(4, 4, |i, j| {
+            if i >= j {
+                (i + 1) as f64 * (j + 1) as f64
+            } else {
+                -99.0
+            }
+        });
         m.mirror_lower();
         for i in 0..4 {
             for j in 0..4 {

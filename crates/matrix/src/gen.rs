@@ -146,7 +146,9 @@ pub fn random_tridiagonal(n: usize, seed: u64) -> Tridiagonal {
     let dist = Uniform::new(-1.0f64, 1.0);
     Tridiagonal::new(
         (0..n).map(|_| dist.sample(&mut rng)).collect(),
-        (0..n.saturating_sub(1)).map(|_| dist.sample(&mut rng)).collect(),
+        (0..n.saturating_sub(1))
+            .map(|_| dist.sample(&mut rng))
+            .collect(),
     )
 }
 

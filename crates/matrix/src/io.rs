@@ -205,11 +205,7 @@ pub fn write_matrix_market(
 }
 
 /// Writes Matrix Market data to any writer.
-pub fn write_matrix_market_to(
-    mut w: impl Write,
-    m: &Mat,
-    symmetric: bool,
-) -> Result<(), MmError> {
+pub fn write_matrix_market_to(mut w: impl Write, m: &Mat, symmetric: bool) -> Result<(), MmError> {
     let (rows, cols) = (m.nrows(), m.ncols());
     if symmetric {
         assert_eq!(rows, cols, "symmetric output needs a square matrix");

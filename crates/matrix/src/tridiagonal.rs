@@ -90,7 +90,11 @@ impl Tridiagonal {
         let mut count = 0;
         let mut q = 1.0f64;
         for i in 0..n {
-            let e2 = if i > 0 { self.e[i - 1] * self.e[i - 1] } else { 0.0 };
+            let e2 = if i > 0 {
+                self.e[i - 1] * self.e[i - 1]
+            } else {
+                0.0
+            };
             q = if q != 0.0 {
                 self.d[i] - x - e2 / q
             } else {

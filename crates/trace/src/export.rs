@@ -1,0 +1,258 @@
+//! Trace exporters: Chrome trace-event JSON and a plain-text profile table.
+
+use crate::{Counter, Event, Trace, N_COUNTERS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Wall-clock events are exported under this pid, virtual-time events
+/// under [`VIRTUAL_PID`], so viewers show them as separate processes.
+pub const WALL_PID: u64 = 1;
+pub const VIRTUAL_PID: u64 = 2;
+
+impl Trace {
+    /// Renders the trace in Chrome trace-event JSON ("X" complete events),
+    /// loadable in Perfetto or `chrome://tracing`.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 128);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_event(&mut out, e);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Aggregates events by span name into [`ProfileRow`]s, ordered by
+    /// total wall time (descending). Virtual-time events are excluded.
+    pub fn profile_rows(&self) -> Vec<ProfileRow> {
+        let mut by_name: BTreeMap<&'static str, ProfileRow> = BTreeMap::new();
+        for e in self.events.iter().filter(|e| !e.virtual_time) {
+            let row = by_name.entry(e.name).or_insert_with(|| ProfileRow {
+                name: e.name,
+                cat: e.cat,
+                count: 0,
+                wall: 0.0,
+                counters: [0; N_COUNTERS],
+            });
+            row.count += 1;
+            row.wall += e.dur_us * 1e-6;
+            for i in 0..N_COUNTERS {
+                row.counters[i] += e.counters[i];
+            }
+        }
+        let mut rows: Vec<ProfileRow> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.wall.total_cmp(&a.wall));
+        rows
+    }
+
+    /// Renders the per-stage profile table:
+    ///
+    /// ```text
+    /// span            cat    calls   wall ms   % wall     GFLOP   GFLOP/s
+    /// evd.reduce      stage      1    12.100    74.2%     0.350     28.92
+    /// ```
+    ///
+    /// Percentages are relative to the session wall time; nested spans both
+    /// appear (durations are inclusive), so only sibling rows sum to ≤100%.
+    pub fn profile_table(&self) -> String {
+        let rows = self.profile_rows();
+        let total_s = self.wall.as_secs_f64();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:<7} {:>6} {:>11} {:>7} {:>10} {:>9}",
+            "span", "cat", "calls", "wall ms", "% wall", "GFLOP", "GFLOP/s"
+        );
+        for r in &rows {
+            let gflop = r.counters[Counter::Flops.index()] as f64 / 1e9;
+            let rate = if r.wall > 0.0 { gflop / r.wall } else { 0.0 };
+            let pct = if total_s > 0.0 {
+                100.0 * r.wall / total_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<22} {:<7} {:>6} {:>11.3} {:>6.1}% {:>10.3} {:>9.2}",
+                r.name,
+                r.cat,
+                r.count,
+                r.wall * 1e3,
+                pct,
+                gflop,
+                rate
+            );
+        }
+        let total_gflop = self.total(Counter::Flops) as f64 / 1e9;
+        let total_rate = if total_s > 0.0 {
+            total_gflop / total_s
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:<7} {:>6} {:>11.3} {:>6.1}% {:>10.3} {:>9.2}",
+            "TOTAL (session)",
+            "",
+            "",
+            total_s * 1e3,
+            100.0,
+            total_gflop,
+            total_rate
+        );
+        for c in [
+            Counter::BytesRead,
+            Counter::BytesWritten,
+            Counter::Sweeps,
+            Counter::BulgeTasks,
+        ] {
+            let v = self.total(c);
+            if v != 0 {
+                let _ = writeln!(out, "  total {:<14} {v}", c.key());
+            }
+        }
+        out
+    }
+}
+
+/// One aggregated profile line: all events sharing a span name.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    pub name: &'static str,
+    pub cat: &'static str,
+    pub count: usize,
+    /// Total inclusive wall time, seconds.
+    pub wall: f64,
+    pub counters: [u64; N_COUNTERS],
+}
+
+fn write_event(out: &mut String, e: &Event) {
+    let pid = if e.virtual_time {
+        VIRTUAL_PID
+    } else {
+        WALL_PID
+    };
+    let _ = write!(
+        out,
+        "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{}",
+        json_str(e.name),
+        json_str(e.cat),
+        e.ts_us,
+        e.dur_us,
+        e.tid
+    );
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some((k, v)) = e.arg {
+        let _ = write!(out, "{}:{v}", json_str(k));
+        first = false;
+    }
+    for c in Counter::ALL {
+        let val = e.counters[c.index()];
+        if val != 0 {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{val}", json_str(c.key()));
+            first = false;
+        }
+    }
+    out.push_str("}}");
+}
+
+/// Minimal JSON string escaping (span/category names are code literals,
+/// but keep the output valid for arbitrary content).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> Trace {
+        Trace {
+            events: vec![
+                Event {
+                    name: "evd.reduce",
+                    cat: "stage",
+                    arg: Some(("n", 64)),
+                    tid: 0,
+                    ts_us: 0.0,
+                    dur_us: 900.0,
+                    counters: [350_000, 16_384, 8_192, 0, 0],
+                    virtual_time: false,
+                },
+                Event {
+                    name: "evd.solve",
+                    cat: "stage",
+                    arg: None,
+                    tid: 0,
+                    ts_us: 900.0,
+                    dur_us: 100.0,
+                    counters: [50_000, 0, 0, 0, 0],
+                    virtual_time: false,
+                },
+                Event {
+                    name: "sim.sweep",
+                    cat: "sim",
+                    arg: Some(("s", 2)),
+                    tid: 1,
+                    ts_us: 0.0,
+                    dur_us: 5.0,
+                    counters: [0; N_COUNTERS],
+                    virtual_time: true,
+                },
+            ],
+            totals: [400_000, 16_384, 8_192, 0, 0],
+            wall: std::time::Duration::from_micros(1000),
+        }
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = demo_trace().chrome_json();
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"evd.reduce\""));
+        assert!(json.contains("\"flops\":350000"));
+        // virtual event under its own pid
+        assert!(json.contains(&format!("\"pid\":{VIRTUAL_PID}")));
+    }
+
+    #[test]
+    fn profile_rows_aggregate_and_sort() {
+        let rows = demo_trace().profile_rows();
+        assert_eq!(rows.len(), 2); // virtual event excluded
+        assert_eq!(rows[0].name, "evd.reduce"); // longest first
+        assert_eq!(rows[0].counters[0], 350_000);
+        assert!((rows[0].wall - 900e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_table_mentions_stages_and_total() {
+        let table = demo_trace().profile_table();
+        assert!(table.contains("evd.reduce"));
+        assert!(table.contains("evd.solve"));
+        assert!(table.contains("TOTAL (session)"));
+        assert!(table.contains("GFLOP/s"));
+    }
+}

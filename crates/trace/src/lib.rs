@@ -1,0 +1,497 @@
+//! Lightweight instrumentation for the tridiagonalization pipelines.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Tracing is off by default; every
+//!    entry point first reads one relaxed atomic and bails. No allocation,
+//!    no clock read, no lock on the disabled path.
+//! 2. **Safe under parallelism.** Spans nest per-thread (a thread-local
+//!    frame stack); completed spans and counter totals funnel into a global
+//!    collector, so the bulge-chasing workers can be instrumented without
+//!    changing their threading structure.
+//! 3. **Two export formats.** [`Trace::chrome_json`] emits Chrome
+//!    trace-event JSON (loadable in Perfetto / `chrome://tracing`);
+//!    [`Trace::profile_table`] renders a per-stage wall-time/FLOP summary.
+//!
+//! # Usage
+//!
+//! ```
+//! let session = tg_trace::TraceSession::begin();
+//! {
+//!     let _s = tg_trace::span("demo.compute");
+//!     tg_trace::add(tg_trace::Counter::Flops, 1000);
+//! }
+//! let trace = session.finish();
+//! assert_eq!(trace.total(tg_trace::Counter::Flops), 1000);
+//! assert_eq!(trace.events.len(), 1);
+//! ```
+//!
+//! Counters attribute to the innermost open span on the current thread
+//! (inclusively: parents accumulate their children's counts when the child
+//! closes), or to the session totals when no span is open. Sessions are
+//! process-global and serialized: `begin` blocks while another session is
+//! live, which keeps concurrently-running tests from mixing events.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+mod export;
+
+/// Typed counters recorded alongside spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Floating-point operations (FMA counted as 2).
+    Flops,
+    /// Bytes read from matrix storage by kernels.
+    BytesRead,
+    /// Bytes written to matrix storage by kernels.
+    BytesWritten,
+    /// Bulge-chasing sweeps started.
+    Sweeps,
+    /// Bulge-chasing tasks executed.
+    BulgeTasks,
+}
+
+/// Number of [`Counter`] kinds (length of per-span counter arrays).
+pub const N_COUNTERS: usize = 5;
+
+impl Counter {
+    pub const ALL: [Counter; N_COUNTERS] = [
+        Counter::Flops,
+        Counter::BytesRead,
+        Counter::BytesWritten,
+        Counter::Sweeps,
+        Counter::BulgeTasks,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Counter::Flops => 0,
+            Counter::BytesRead => 1,
+            Counter::BytesWritten => 2,
+            Counter::Sweeps => 3,
+            Counter::BulgeTasks => 4,
+        }
+    }
+
+    /// Key used in exported JSON / profile tables.
+    pub fn key(self) -> &'static str {
+        match self {
+            Counter::Flops => "flops",
+            Counter::BytesRead => "bytes_read",
+            Counter::BytesWritten => "bytes_written",
+            Counter::Sweeps => "sweeps",
+            Counter::BulgeTasks => "bulge_tasks",
+        }
+    }
+}
+
+/// A completed span (or virtual-time event), ready for export.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub name: &'static str,
+    /// Category: coarse grouping for trace viewers ("stage", "kernel", …).
+    pub cat: &'static str,
+    /// Optional argument, e.g. the sweep index for `bc.sweep`.
+    pub arg: Option<(&'static str, u64)>,
+    /// Logical thread id (stable per OS thread within a session).
+    pub tid: u64,
+    /// Start, microseconds since session begin (or virtual time).
+    pub ts_us: f64,
+    pub dur_us: f64,
+    /// Inclusive counter totals for the span, indexed by [`Counter`].
+    pub counters: [u64; N_COUNTERS],
+    /// True for simulator events on the virtual timeline — exported under
+    /// a separate pid so real and virtual time don't interleave.
+    pub virtual_time: bool,
+}
+
+/// Everything recorded between [`TraceSession::begin`] and
+/// [`TraceSession::finish`].
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Completed spans, ordered by start time.
+    pub events: Vec<Event>,
+    /// Session-wide counter totals (including counts recorded outside any
+    /// span), indexed by [`Counter`].
+    pub totals: [u64; N_COUNTERS],
+    /// Wall time from session begin to finish.
+    pub wall: Duration,
+}
+
+impl Trace {
+    pub fn total(&self, c: Counter) -> u64 {
+        self.totals[c.index()]
+    }
+}
+
+// ---- global state ----
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTALS: [AtomicU64; N_COUNTERS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+struct CollectorState {
+    epoch: Option<Instant>,
+    events: Vec<Event>,
+}
+
+fn collector() -> &'static Mutex<CollectorState> {
+    static COLLECTOR: OnceLock<Mutex<CollectorState>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| {
+        Mutex::new(CollectorState {
+            epoch: None,
+            events: Vec::new(),
+        })
+    })
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+/// Unpoisoned lock: a panicking instrumented test must not wedge tracing
+/// for the rest of the process.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Frame {
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<(&'static str, u64)>,
+    start: Instant,
+    counters: [u64; N_COUNTERS],
+}
+
+thread_local! {
+    static STACK: std::cell::RefCell<Vec<Frame>> = const { std::cell::RefCell::new(Vec::new()) };
+    static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+}
+
+fn thread_id() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == u64::MAX {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// Whether a trace session is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---- session ----
+
+/// RAII handle for one recording session. Only one session can be live at
+/// a time; `begin` blocks until the previous one finishes.
+pub struct TraceSession {
+    _exclusive: MutexGuard<'static, ()>,
+    begun: Instant,
+}
+
+impl TraceSession {
+    pub fn begin() -> TraceSession {
+        let exclusive = lock_unpoisoned(session_lock());
+        let now = Instant::now();
+        {
+            let mut st = lock_unpoisoned(collector());
+            st.epoch = Some(now);
+            st.events.clear();
+        }
+        for t in &TOTALS {
+            t.store(0, Ordering::Relaxed);
+        }
+        ENABLED.store(true, Ordering::SeqCst);
+        TraceSession {
+            _exclusive: exclusive,
+            begun: now,
+        }
+    }
+
+    /// Stops recording and returns everything captured.
+    ///
+    /// Spans still open on *other* threads when `finish` is called are
+    /// dropped (their counters were not yet flushed); finish after joining
+    /// worker threads.
+    pub fn finish(self) -> Trace {
+        let wall = self.begun.elapsed();
+        ENABLED.store(false, Ordering::SeqCst);
+        let mut st = lock_unpoisoned(collector());
+        st.epoch = None;
+        let mut events = std::mem::take(&mut st.events);
+        drop(st);
+        events.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        let mut totals = [0u64; N_COUNTERS];
+        for (i, t) in TOTALS.iter().enumerate() {
+            totals[i] = t.swap(0, Ordering::Relaxed);
+        }
+        Trace {
+            events,
+            totals,
+            wall,
+        }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        // finish() consumed self normally; this handles early drops (e.g.
+        // a panicking test) so the next session starts clean.
+        ENABLED.store(false, Ordering::SeqCst);
+        let mut st = lock_unpoisoned(collector());
+        st.epoch = None;
+        st.events.clear();
+    }
+}
+
+// ---- spans and counters ----
+
+/// Closes the span (records the event) when dropped.
+#[must_use = "a span guard records its span when dropped"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+/// Opens a span in category `"stage"`. Returns an inert guard when
+/// tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "stage", None)
+}
+
+/// Opens a span with an explicit category and optional argument.
+#[inline]
+pub fn span_cat(
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<(&'static str, u64)>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            name,
+            cat,
+            arg,
+            start: Instant::now(),
+            counters: [0; N_COUNTERS],
+        })
+    });
+    SpanGuard { active: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = Instant::now();
+        // Pop unconditionally (the frame was pushed when this guard was
+        // created), even if the session ended while the span was open.
+        let frame = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let frame = stack.pop().expect("span stack underflow");
+            if let Some(parent) = stack.last_mut() {
+                for i in 0..N_COUNTERS {
+                    parent.counters[i] += frame.counters[i];
+                }
+            } else {
+                for (total, &v) in TOTALS.iter().zip(frame.counters.iter()) {
+                    if v != 0 {
+                        total.fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+            }
+            frame
+        });
+        let mut st = lock_unpoisoned(collector());
+        if let Some(epoch) = st.epoch {
+            let ts_us = frame.start.saturating_duration_since(epoch).as_secs_f64() * 1e6;
+            let dur_us = end.saturating_duration_since(frame.start).as_secs_f64() * 1e6;
+            st.events.push(Event {
+                name: frame.name,
+                cat: frame.cat,
+                arg: frame.arg,
+                tid: thread_id(),
+                ts_us,
+                dur_us,
+                counters: frame.counters,
+                virtual_time: false,
+            });
+        }
+    }
+}
+
+/// Adds `n` to counter `c`, attributed to the innermost open span on this
+/// thread (or the session totals when no span is open).
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    let attributed = STACK.with(|s| {
+        if let Some(top) = s.borrow_mut().last_mut() {
+            top.counters[c.index()] += n;
+            true
+        } else {
+            false
+        }
+    });
+    if !attributed {
+        TOTALS[c.index()].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records a completed event on the **virtual** timeline (simulator time,
+/// not wall time). `track` plays the role of a tid within the virtual pid.
+pub fn record_virtual(
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<(&'static str, u64)>,
+    track: u64,
+    ts_us: f64,
+    dur_us: f64,
+) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_unpoisoned(collector());
+    if st.epoch.is_some() {
+        st.events.push(Event {
+            name,
+            cat,
+            arg,
+            tid: track,
+            ts_us,
+            dur_us,
+            counters: [0; N_COUNTERS],
+            virtual_time: true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes this module's tests: the assertions around session
+    /// boundaries (e.g. "enabled() is false before begin") would race with
+    /// a concurrently-running instrumented test otherwise.
+    fn serial() -> MutexGuard<'static, ()> {
+        static TEST_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        lock_unpoisoned(TEST_LOCK.get_or_init(|| Mutex::new(())))
+    }
+
+    #[test]
+    fn disabled_paths_are_inert() {
+        let _serial = serial();
+        assert!(!enabled());
+        let g = span("not.recorded");
+        add(Counter::Flops, 123);
+        drop(g);
+        let session = TraceSession::begin();
+        let trace = session.finish();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.total(Counter::Flops), 0);
+    }
+
+    #[test]
+    fn counters_attribute_inclusively() {
+        let _serial = serial();
+        let session = TraceSession::begin();
+        {
+            let _outer = span("outer");
+            add(Counter::Flops, 10);
+            {
+                let _inner = span_cat("inner", "kernel", Some(("k", 7)));
+                add(Counter::Flops, 32);
+                add(Counter::BytesRead, 8);
+            }
+            add(Counter::Flops, 100);
+        }
+        add(Counter::Sweeps, 1); // outside any span: straight to totals
+        let trace = session.finish();
+        assert_eq!(trace.total(Counter::Flops), 142);
+        assert_eq!(trace.total(Counter::BytesRead), 8);
+        assert_eq!(trace.total(Counter::Sweeps), 1);
+        let inner = trace.events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = trace.events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(inner.counters[Counter::Flops.index()], 32);
+        assert_eq!(outer.counters[Counter::Flops.index()], 142);
+        assert_eq!(inner.arg, Some(("k", 7)));
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1.0);
+    }
+
+    #[test]
+    fn spans_and_counters_across_threads() {
+        let _serial = serial();
+        let session = TraceSession::begin();
+        let threads: u64 = 4;
+        let per_thread: u64 = 25;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    let _w = span_cat("worker", "stage", Some(("w", t)));
+                    for _ in 0..per_thread {
+                        let _task = span_cat("task", "kernel", None);
+                        add(Counter::Flops, 2);
+                    }
+                });
+            }
+        });
+        let trace = session.finish();
+        assert_eq!(trace.total(Counter::Flops), threads * per_thread * 2);
+        let workers: Vec<_> = trace.events.iter().filter(|e| e.name == "worker").collect();
+        assert_eq!(workers.len(), threads as usize);
+        // all tasks nested under some worker span on the same thread
+        for task in trace.events.iter().filter(|e| e.name == "task") {
+            let host = workers.iter().find(|w| w.tid == task.tid).unwrap();
+            assert!(task.ts_us >= host.ts_us);
+        }
+        // distinct tids per worker thread
+        let mut tids: Vec<u64> = workers.iter().map(|w| w.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), threads as usize);
+    }
+
+    #[test]
+    fn virtual_events_recorded() {
+        let _serial = serial();
+        let session = TraceSession::begin();
+        record_virtual("sim.sweep", "sim", Some(("s", 0)), 0, 0.0, 10.0);
+        record_virtual("sim.sweep", "sim", Some(("s", 1)), 1, 5.0, 10.0);
+        let trace = session.finish();
+        assert_eq!(trace.events.len(), 2);
+        assert!(trace.events.iter().all(|e| e.virtual_time));
+    }
+
+    #[test]
+    fn sessions_reset_state() {
+        let _serial = serial();
+        let s1 = TraceSession::begin();
+        add(Counter::Flops, 5);
+        let t1 = s1.finish();
+        assert_eq!(t1.total(Counter::Flops), 5);
+        let s2 = TraceSession::begin();
+        let t2 = s2.finish();
+        assert_eq!(t2.total(Counter::Flops), 0);
+        assert!(t2.events.is_empty());
+    }
+}

@@ -38,14 +38,18 @@ fn main() {
         }
     }
 
-    println!(
-        "1-D Schrödinger operator, n = {n}, h = {h:.4}, bandwidth {b} (5-point stencil)\n"
-    );
+    println!("1-D Schrödinger operator, n = {n}, h = {h:.4}, bandwidth {b} (5-point stencil)\n");
     let t = std::time::Instant::now();
     let evd = sbevd(&op, 8, true).expect("eigensolver failed");
-    println!("sbevd (pipelined BC + divide & conquer): {:?}\n", t.elapsed());
+    println!(
+        "sbevd (pipelined BC + divide & conquer): {:?}\n",
+        t.elapsed()
+    );
 
-    println!("{:>4}  {:>12}  {:>12}  {:>10}", "k", "computed", "exact", "error");
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>10}",
+        "k", "computed", "exact", "error"
+    );
     let mut worst = 0.0f64;
     for k in 0..8 {
         let exact = 2.0 * k as f64 + 1.0; // E_k = (2k+1)·ω with ω = 1

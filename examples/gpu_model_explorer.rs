@@ -62,7 +62,13 @@ fn main() {
         compose::dbbr_time(&dev, n, 32, 1024) + compose::bc_gpu_time(&dev, n, 32, true, None)
     );
     println!("\nbaselines at this size:");
-    println!("  cuSOLVER sytrd: {:.3}s", compose::tridiag_cusolver(&dev, n));
+    println!(
+        "  cuSOLVER sytrd: {:.3}s",
+        compose::tridiag_cusolver(&dev, n)
+    );
     let (sbr, bc) = compose::tridiag_magma(&dev, n, 64);
-    println!("  MAGMA two-stage (b = 64): {:.3}s (SBR {sbr:.3} + BC {bc:.3})", sbr + bc);
+    println!(
+        "  MAGMA two-stage (b = 64): {:.3}s (SBR {sbr:.3} + BC {bc:.3})",
+        sbr + bc
+    );
 }

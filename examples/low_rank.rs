@@ -10,8 +10,8 @@
 //! cargo run --release --example low_rank [n]
 //! ```
 
-use tridiag_gpu::svd::{singular_values, SvdMethod};
 use tridiag_gpu::prelude::*;
+use tridiag_gpu::svd::{singular_values, SvdMethod};
 
 fn main() {
     let n: usize = std::env::args()

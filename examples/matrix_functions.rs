@@ -15,8 +15,8 @@ fn apply_spectral(f: impl Fn(f64) -> f64, eigs: &[f64], v: &Mat) -> Mat {
     let n = v.nrows();
     // V f(Λ) Vᵀ
     let mut vf = Mat::zeros(n, n);
-    for k in 0..n {
-        let s = f(eigs[k]);
+    for (k, &lam) in eigs.iter().enumerate() {
+        let s = f(lam);
         let col = v.col(k);
         let out = vf.col_mut(k);
         for i in 0..n {
@@ -49,8 +49,8 @@ fn main() {
     }
     println!("matrix functions of an SPD matrix, n = {n}\n");
 
-    let evd = syevd(&mut a.clone(), &EvdMethod::proposed_default(n), true)
-        .expect("eigensolver failed");
+    let evd =
+        syevd(&mut a.clone(), &EvdMethod::proposed_default(n), true).expect("eigensolver failed");
     let v = evd.eigenvectors.as_ref().unwrap();
     println!(
         "spectrum in [{:.4}, {:.4}], eigenpair residual {:.2e}",

@@ -45,7 +45,10 @@ fn main() {
     let t_full = t.elapsed();
 
     println!("partial solve: {t_part:?}");
-    println!("full solve:    {t_full:?}  ({:.1}x slower)", t_full.as_secs_f64() / t_part.as_secs_f64());
+    println!(
+        "full solve:    {t_full:?}  ({:.1}x slower)",
+        t_full.as_secs_f64() / t_part.as_secs_f64()
+    );
 
     // agreement on the shared eigenvalues
     let mut worst = 0.0f64;

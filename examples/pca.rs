@@ -69,14 +69,17 @@ fn main() {
         }
     }
 
-    let evd = syevd(&mut cov.clone(), &EvdMethod::proposed_default(d), true)
-        .expect("eigensolver failed");
+    let evd =
+        syevd(&mut cov.clone(), &EvdMethod::proposed_default(d), true).expect("eigensolver failed");
     let eigs = &evd.eigenvalues;
     let v = evd.eigenvectors.as_ref().unwrap();
 
     let total: f64 = eigs.iter().sum();
     println!("top 8 principal components (descending):");
-    println!("{:>4}  {:>12}  {:>10}  {:>16}", "pc", "variance", "explained", "|cos| to planted");
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>16}",
+        "pc", "variance", "explained", "|cos| to planted"
+    );
     let mut cum = 0.0;
     for i in 0..8.min(d) {
         let idx = d - 1 - i; // eigenvalues ascend
@@ -111,5 +114,8 @@ fn main() {
         })
         .count();
     println!("\nrecovered {recovered}/{planted} planted directions with |cos| > 0.9");
-    assert!(recovered >= planted - 1, "PCA failed to recover the planted structure");
+    assert!(
+        recovered >= planted - 1,
+        "PCA failed to recover the planted structure"
+    );
 }

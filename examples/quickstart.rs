@@ -45,15 +45,13 @@ fn main() {
         let q = red.form_q();
         let orth = orthogonality_residual(&q);
         let sim = similarity_residual(&a, &q, &red.tri.to_dense());
-        println!(
-            "{name}\n  time {elapsed:?}   ‖QᵀQ−I‖ = {orth:.2e}   ‖A−QTQᵀ‖/‖A‖ = {sim:.2e}"
-        );
+        println!("{name}\n  time {elapsed:?}   ‖QᵀQ−I‖ = {orth:.2e}   ‖A−QTQᵀ‖/‖A‖ = {sim:.2e}");
     }
 
     // full EVD with the proposed pipeline
     let t = Instant::now();
-    let evd = syevd(&mut a.clone(), &EvdMethod::proposed_default(n), true)
-        .expect("eigensolver failed");
+    let evd =
+        syevd(&mut a.clone(), &EvdMethod::proposed_default(n), true).expect("eigensolver failed");
     println!(
         "\nfull EVD (proposed + divide & conquer): {:?}",
         t.elapsed()
@@ -65,5 +63,8 @@ fn main() {
     );
     println!("  eigenpair residual = {:.2e}", evd.residual(&a));
     let v = evd.eigenvectors.as_ref().unwrap();
-    println!("  eigenvector orthogonality = {:.2e}", orthogonality_residual(v));
+    println!(
+        "  eigenvector orthogonality = {:.2e}",
+        orthogonality_residual(v)
+    );
 }

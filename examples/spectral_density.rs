@@ -33,7 +33,8 @@ fn main() {
     let q = gen::random_orthogonal(n, 12);
     let hd = h.to_dense();
     let hq = {
-        let tmp = tridiag_gpu::blas::gemm_into(1.0, &q.as_ref(), Op::NoTrans, &hd.as_ref(), Op::NoTrans);
+        let tmp =
+            tridiag_gpu::blas::gemm_into(1.0, &q.as_ref(), Op::NoTrans, &hd.as_ref(), Op::NoTrans);
         let mut out = Mat::zeros(n, n);
         gemm(
             1.0,
@@ -54,8 +55,8 @@ fn main() {
         s
     };
 
-    let evd = syevd(&mut hq.clone(), &EvdMethod::proposed_default(n), false)
-        .expect("eigensolver failed");
+    let evd =
+        syevd(&mut hq.clone(), &EvdMethod::proposed_default(n), false).expect("eigensolver failed");
     let eigs = &evd.eigenvalues;
 
     // cross-check against the direct tridiagonal solve of H itself
@@ -81,7 +82,5 @@ fn main() {
         let bar = "#".repeat(c * 50 / max.max(1));
         println!("  {e0:>8.3}  {c:>4}  {bar}");
     }
-    println!(
-        "\nband edges of the clean chain are ±2t = ±2; disorder W = {w} broadens them."
-    );
+    println!("\nband edges of the clean chain are ±2t = ±2; disorder W = {w} broadens them.");
 }

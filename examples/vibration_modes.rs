@@ -44,8 +44,10 @@ fn main() {
     let mut worst = 0.0f64;
     for (i, &lam) in evd.eigenvalues.iter().enumerate() {
         let kk = (i + 1) as f64;
-        let exact =
-            4.0 * k_s / m0 * (kk * std::f64::consts::PI / (2.0 * (n as f64 + 1.0))).sin().powi(2);
+        let exact = 4.0 * k_s / m0
+            * (kk * std::f64::consts::PI / (2.0 * (n as f64 + 1.0)))
+                .sin()
+                .powi(2);
         worst = worst.max((lam - exact).abs());
     }
     println!("uniform chain: max |ω² − analytic| = {worst:.2e}");

@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same bench-authoring API (`criterion_group!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`), but measurement is
+//! plain wall-clock sampling: each benchmark runs `sample_size` samples
+//! and prints min/median/mean per iteration, plus derived throughput when
+//! one was declared. No statistical analysis, HTML reports, or baselines.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to derive a rate from the median.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: Vec<f64>, // seconds per iteration
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // one warm-up iteration, then timed samples
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.into_bench_id(), &b.samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.into_bench_id(), &b.samples);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, bench_name: &str, samples: &[f64]) {
+        if samples.is_empty() {
+            println!("{}/{}: no samples", self.group_name, bench_name);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let mut line = format!(
+            "{}/{}: min {} median {} mean {} ({} samples)",
+            self.group_name,
+            bench_name,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            sorted.len(),
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(", {:.3} Gelem/s", n as f64 / median / 1e9));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(", {:.3} GB/s", n as f64 / median / 1e9));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.group_name, bench_name), median));
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchId {
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.name
+    }
+}
+
+/// Benchmark driver; collects `(name, median seconds)` pairs.
+#[derive(Default)]
+pub struct Criterion {
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        let mut g = c.benchmark_group("square");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("loop", 100), &100u64, |bench, &n| {
+            bench.iter(|| (0..n).map(|x| x * x).sum::<u64>())
+        });
+        g.bench_function("noop", |bench| bench.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        bench_square(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, median)| *median >= 0.0));
+        assert!(c.results[0].0.contains("square/loop/100"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the subset this workspace uses: the `proptest!` macro with a
+//! `proptest_config` header, range strategies over `usize`/`u64`/`f64`,
+//! `proptest::bool::ANY`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test path and case index) instead of an
+//! adaptive strategy tree, and failing cases are reported but not shrunk.
+//! Every run therefore exercises the identical input set — good for CI
+//! reproducibility, weaker at edge-case discovery.
+
+/// Per-test deterministic random source (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test's module path + name and the case index, so
+    /// each test gets a distinct but reproducible input stream.
+    pub fn deterministic(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random test inputs (simplified: a sampler, no shrink tree).
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize range strategy");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 range strategy");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty i64 range strategy");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as i64
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy yielding a fixed value (`proptest::strategy::Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    /// `proptest::bool::ANY` — uniform over {false, true}.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: Any = Any;
+}
+
+/// Number of cases each property runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    pub use crate::{Just, Strategy};
+}
+
+pub mod prelude {
+    pub use crate::bool as prop_bool;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            panic!("prop_assert_eq failed: {:?} != {:?}", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            panic!("prop_assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)+));
+        }
+    }};
+}
+
+/// Generates one `#[test]` per property. Each case samples every argument
+/// from its strategy with a deterministic RNG; a failing case reports the
+/// sampled inputs before propagating the panic (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let rng = &mut $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::sample(&$strat, rng);)*
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} with inputs: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_in_bounds(n in 3usize..17, s in 5u64..9, x in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((5..9).contains(&s));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        fn bool_any_is_bool(flag in crate::bool::ANY) {
+            prop_assert!(u8::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = TestRng::deterministic("mod::test", 3).next_u64();
+        let b = TestRng::deterministic("mod::test", 3).next_u64();
+        let c = TestRng::deterministic("mod::test", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

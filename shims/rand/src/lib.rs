@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements only the surface this workspace uses: a seedable
+//! deterministic RNG (`rngs::StdRng`) and a uniform `f64` distribution.
+//! The generator is xoshiro256++ seeded via splitmix64 — *not* the same
+//! stream as the real `rand::StdRng`, but the workspace only relies on
+//! per-seed determinism, never on specific values.
+
+/// Core RNG interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 random bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction of an RNG from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // avoid the all-zero state (splitmix64 never yields it for
+            // four consecutive outputs, but belt and braces)
+            if s.iter().all(|&x| x == 0) {
+                s[0] = 0x1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Sampling interface, mirroring `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)` for `f64`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform {
+        low: f64,
+        high: f64,
+    }
+
+    impl Uniform {
+        pub fn new(low: f64, high: f64) -> Uniform {
+            assert!(low < high, "Uniform requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            self.low + (self.high - self.low) * rng.next_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let d = Uniform::new(-1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+            min = min.min(x);
+            max = max.max(x);
+        }
+        // the sample should spread over most of the interval
+        assert!(min < -0.9 && max > 0.9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) that
+//! supports the shapes this workspace derives on: **named-field structs**
+//! and **unit-variant enums**, without generics. Anything else produces a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum of unit variants: variant identifiers.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => render(&item, mode)
+            .parse()
+            .expect("shim derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    // skip outer attributes and visibility
+    let kw = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde shim derive: unexpected token `{s}`"));
+            }
+            other => return Err(format!("serde shim derive: unexpected input {other:?}")),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derive does not support generics (type `{name}`)"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "serde shim derive supports only braced structs/enums \
+                 (type `{name}`, got {other:?})"
+            ))
+        }
+    };
+    let shape = if kw == "struct" {
+        Shape::Struct(parse_fields(body, &name)?)
+    } else {
+        Shape::Enum(parse_variants(body, &name)?)
+    };
+    Ok(Item { name, shape })
+}
+
+/// Extracts field identifiers from a named-field struct body.
+fn parse_fields(body: TokenStream, type_name: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // skip attributes and visibility before the field name
+        let field = loop {
+            match it.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim derive: unexpected token {other:?} in fields of `{type_name}`"
+                    ))
+                }
+            }
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{field}` of `{type_name}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // consume the type: everything until a comma at angle-bracket depth 0
+        let mut angle_depth = 0i32;
+        loop {
+            match it.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Extracts variant identifiers from an enum body; rejects data variants.
+fn parse_variants(body: TokenStream, type_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match it.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim derive: unexpected token {other:?} in enum `{type_name}`"
+                    ))
+                }
+            }
+        };
+        match it.next() {
+            None => {
+                variants.push(variant);
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive supports only unit enum variants (`{type_name}::{variant}` has data)"
+                ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: unexpected token {other:?} after `{type_name}::{variant}`"
+                ))
+            }
+        }
+    }
+}
+
+fn render(item: &Item, mode: Mode) -> String {
+    let name = &item.name;
+    match (&item.shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Struct(fields), Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__field(\"{f}\"))\
+                             .map_err(|e| format!(\"{name}.{f}: {{}}\", e))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                         let __m = match v {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             _ => return Err(\"{name}: expected object\".to_string()),\n\
+                         }};\n\
+                         let __field = |k: &str| -> &::serde::Value {{\n\
+                             __m.iter().find(|p| p.0 == k).map(|p| &p.1).unwrap_or(&::serde::Value::Null)\n\
+                         }};\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                         match v.as_str() {{\n\
+                             Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => Err(format!(\"{name}: unknown variant {{}}\", other)),\n\
+                             }},\n\
+                             None => Err(\"{name}: expected string\".to_string()),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -57,8 +57,7 @@ pub use tridiag_core as core;
 /// Everything a downstream user typically needs.
 pub mod prelude {
     pub use tg_eigen::{
-        bisect_evd, jacobi_evd, sbevd::sbevd, stedc, steqr, sterf, sterf_pwk, syevd, Evd,
-        EvdMethod,
+        bisect_evd, jacobi_evd, sbevd::sbevd, stedc, steqr, sterf, sterf_pwk, syevd, Evd, EvdMethod,
     };
     pub use tg_matrix::{
         gen, orthogonality_residual, similarity_residual, Mat, SymBand, Tridiagonal,

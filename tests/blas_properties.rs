@@ -6,14 +6,34 @@ use tridiag_gpu::blas::{self, gemm, gemm_into, gemm_packed, Op};
 use tridiag_gpu::matrix::{gen, max_abs_diff, Mat};
 
 fn naive_gemm(a: &Mat, op_a: Op, b: &Mat, op_b: Op) -> Mat {
-    let m = if op_a == Op::NoTrans { a.nrows() } else { a.ncols() };
-    let k = if op_a == Op::NoTrans { a.ncols() } else { a.nrows() };
-    let n = if op_b == Op::NoTrans { b.ncols() } else { b.nrows() };
+    let m = if op_a == Op::NoTrans {
+        a.nrows()
+    } else {
+        a.ncols()
+    };
+    let k = if op_a == Op::NoTrans {
+        a.ncols()
+    } else {
+        a.nrows()
+    };
+    let n = if op_b == Op::NoTrans {
+        b.ncols()
+    } else {
+        b.nrows()
+    };
     Mat::from_fn(m, n, |i, j| {
         (0..k)
             .map(|l| {
-                let x = if op_a == Op::NoTrans { a[(i, l)] } else { a[(l, i)] };
-                let y = if op_b == Op::NoTrans { b[(l, j)] } else { b[(j, l)] };
+                let x = if op_a == Op::NoTrans {
+                    a[(i, l)]
+                } else {
+                    a[(l, i)]
+                };
+                let y = if op_b == Op::NoTrans {
+                    b[(l, j)]
+                } else {
+                    b[(j, l)]
+                };
                 x * y
             })
             .sum()

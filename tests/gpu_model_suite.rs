@@ -110,10 +110,7 @@ fn bc_model_des_agreement_across_geometries() {
             let closed = bc_model::total_cycles(n, b, s);
             let des = pipeline::simulate(n, b, s, 1.0).makespan_s;
             let rel = (closed - des).abs() / des;
-            assert!(
-                rel < 0.4,
-                "n={n} b={b} S={s}: closed {closed} vs DES {des}"
-            );
+            assert!(rel < 0.4, "n={n} b={b} S={s}: closed {closed} vs DES {des}");
         }
     }
 }

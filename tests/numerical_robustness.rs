@@ -137,8 +137,12 @@ fn permutation_similarity() {
         &p.as_ref(),
         tridiag_gpu::blas::Op::Trans,
     );
-    let e1 = syevd(&mut a.clone(), &proposed(n), false).unwrap().eigenvalues;
-    let e2 = syevd(&mut b.clone(), &proposed(n), false).unwrap().eigenvalues;
+    let e1 = syevd(&mut a.clone(), &proposed(n), false)
+        .unwrap()
+        .eigenvalues;
+    let e2 = syevd(&mut b.clone(), &proposed(n), false)
+        .unwrap()
+        .eigenvalues;
     for (x, y) in e1.iter().zip(&e2) {
         assert!((x - y).abs() < 1e-10);
     }
@@ -169,8 +173,12 @@ fn negative_definite() {
     for v in neg.as_mut_slice() {
         *v = -*v;
     }
-    let ep = syevd(&mut spd.clone(), &proposed(n), false).unwrap().eigenvalues;
-    let en = syevd(&mut neg.clone(), &proposed(n), false).unwrap().eigenvalues;
+    let ep = syevd(&mut spd.clone(), &proposed(n), false)
+        .unwrap()
+        .eigenvalues;
+    let en = syevd(&mut neg.clone(), &proposed(n), false)
+        .unwrap()
+        .eigenvalues;
     for i in 0..n {
         assert!((ep[i] + en[n - 1 - i]).abs() < 1e-9, "mirror at {i}");
     }

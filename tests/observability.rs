@@ -1,0 +1,188 @@
+//! Integration tests for the `tg-trace` observability layer: span nesting
+//! across the real pipelines, counter attribution, disabled-path inertness,
+//! Chrome-trace export validity, and the model-vs-measured acceptance
+//! criterion.
+//!
+//! Trace sessions are global, so every test here serializes on a local
+//! mutex — counters recorded by a concurrently running test would otherwise
+//! leak into an open session.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use tg_eigen::{syevd, EvdMethod};
+use tg_matrix::gen;
+use tg_trace::{Counter, Trace, TraceSession};
+use tridiag_core::{tridiagonalize, DbbrConfig, Method};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn traced_evd(n: usize) -> Trace {
+    let mut a = gen::random_symmetric(n, 7);
+    let session = TraceSession::begin();
+    let evd = syevd(&mut a, &EvdMethod::proposed_default(n), true).unwrap();
+    assert_eq!(evd.eigenvalues.len(), n);
+    session.finish()
+}
+
+#[test]
+fn evd_stage_spans_sum_to_root_span() {
+    let _g = serial();
+    let trace = traced_evd(64);
+    let dur = |name: &str| -> f64 {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.dur_us)
+            .sum()
+    };
+    let root = dur("evd");
+    assert!(root > 0.0, "no evd root span");
+    let stages = dur("evd.reduce") + dur("evd.solve") + dur("evd.backtransform");
+    let rel = (root - stages).abs() / root;
+    assert!(
+        rel < 0.05,
+        "stages {stages:.1}us vs root {root:.1}us ({:.1}% unaccounted)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn evd_trace_counts_work_and_nests_spans() {
+    let _g = serial();
+    let trace = traced_evd(64);
+    assert!(trace.total(Counter::Flops) > 0);
+    assert!(trace.total(Counter::Sweeps) > 0);
+    assert!(trace.total(Counter::BulgeTasks) > 0);
+    // kernel spans from the reduction must appear alongside stage spans
+    for name in [
+        "evd",
+        "evd.reduce",
+        "reduce.dbbr",
+        "bc.pipeline",
+        "bc.sweep",
+    ] {
+        assert!(
+            trace.events.iter().any(|e| e.name == name),
+            "missing span {name}"
+        );
+    }
+    // pipelined bulge chasing runs sweeps on several threads
+    let mut tids: Vec<u64> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "bc.sweep")
+        .map(|e| e.tid)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() > 1, "bc.sweep spans all on one thread");
+    // every bc.sweep lies within the evd root span's window
+    let root = trace.events.iter().find(|e| e.name == "evd").unwrap();
+    for e in trace.events.iter().filter(|e| e.name == "bc.sweep") {
+        assert!(e.ts_us + 1e-9 >= root.ts_us);
+        assert!(e.ts_us + e.dur_us <= root.ts_us + root.dur_us + 1e-9);
+    }
+}
+
+#[test]
+fn parallel_and_sequential_pipelines_count_identically() {
+    let _g = serial();
+    let a0 = gen::random_symmetric(40, 11);
+    let run = |parallel_sweeps: usize| -> Trace {
+        let mut a = a0.clone();
+        let session = TraceSession::begin();
+        let _ = tridiagonalize(
+            &mut a,
+            &Method::Dbbr {
+                cfg: DbbrConfig::new(2, 4),
+                parallel_sweeps,
+            },
+        );
+        session.finish()
+    };
+    let seq = run(1);
+    let par = run(4);
+    // counters sum deterministically no matter how many threads recorded them
+    for c in Counter::ALL {
+        assert_eq!(seq.total(c), par.total(c), "{} differs", c.key());
+    }
+    assert!(seq.total(Counter::Sweeps) > 0);
+}
+
+#[test]
+fn disabled_path_records_nothing() {
+    let _g = serial();
+    // work performed with no session open must leave no residue behind
+    let mut a = gen::random_symmetric(32, 3);
+    let _ = tridiagonalize(&mut a, &Method::paper_default(32));
+    let session = TraceSession::begin();
+    let trace = session.finish();
+    assert!(trace.events.is_empty());
+    for c in Counter::ALL {
+        assert_eq!(trace.total(c), 0, "leaked {}", c.key());
+    }
+}
+
+#[test]
+fn chrome_json_roundtrips_with_valid_events() {
+    let _g = serial();
+    let trace = traced_evd(48);
+    let json = trace.chrome_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("chrome trace must parse");
+    let obj = v.as_object().expect("top level object");
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v.as_array().expect("traceEvents array"))
+        .expect("traceEvents key");
+    assert_eq!(events.len(), trace.events.len());
+    for ev in events {
+        let e = ev.as_object().expect("event object");
+        let field = |k: &str| e.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(field("ph").and_then(|v| v.as_str()), Some("X"));
+        let ts = field("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = field("dur").and_then(|v| v.as_f64()).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        assert!(field("name").and_then(|v| v.as_str()).is_some());
+        assert!(field("pid").and_then(|v| v.as_f64()).is_some());
+        assert!(field("tid").and_then(|v| v.as_f64()).is_some());
+    }
+}
+
+#[test]
+fn profile_table_reports_stages_and_total() {
+    let _g = serial();
+    let trace = traced_evd(48);
+    let table = trace.profile_table();
+    for needle in ["evd.reduce", "evd.solve", "evd.backtransform", "TOTAL"] {
+        assert!(table.contains(needle), "profile table missing {needle}");
+    }
+}
+
+/// Acceptance criterion: traced counters match the analytic formulas the
+/// GPU cost models use, within 1 %, on at least two `(n, b, k)` shapes.
+#[test]
+fn model_vs_measured_within_one_percent() {
+    let _g = serial();
+    let rows = tg_gpu_sim::model_check::model_vs_measured(&[(64, 8, 16), (128, 16, 32)]);
+    assert!(rows.len() >= 8);
+    for r in &rows {
+        assert!(
+            r.within_tolerance(),
+            "{} {:?} {}: measured {} vs model {} ({:.2}%)",
+            r.kernel,
+            r.shape,
+            r.quantity,
+            r.measured,
+            r.modeled,
+            r.rel_err() * 100.0
+        );
+    }
+    let report = tg_gpu_sim::model_check::report(&rows);
+    assert!(!report.contains("MISMATCH"));
+}
