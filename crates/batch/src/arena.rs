@@ -1,0 +1,252 @@
+//! Per-worker workspace arena: caches reduction/backtransform scratch
+//! buffers across the problems of a batch.
+//!
+//! The arena implements [`tridiag_core::WorkspacePool`], so it plugs
+//! directly into `dbbr_ws`/`tridiagonalize_ws`/`syevd_ws`. Its contract
+//! (inherited from the trait) is that [`acquire`](WorkspaceArena::acquire)
+//! always returns a **bitwise-zero** buffer, exactly like `Mat::zeros` —
+//! that is what makes batched results bitwise-identical to the
+//! single-problem path regardless of which buffers get recycled.
+//!
+//! Buffers are cached per *shape class* `(n, b, k)` ([`ShapeClass`]): every
+//! problem of the same class requests the same sequence of buffer sizes, so
+//! after the first (all-miss) problem the free lists serve every later
+//! request from cache. Switching classes drops the cache — mixed-shape
+//! batches degrade to allocation, they never corrupt.
+//!
+//! In debug builds, released buffers are poisoned with NaN before they
+//! reach the free lists. Zeroing on `acquire` overwrites the poison; any
+//! future fast path that skips the zeroing (or reads a buffer after
+//! releasing it) surfaces immediately as NaN in results rather than as a
+//! silent stale-data reuse.
+
+use std::collections::BTreeMap;
+
+use tg_matrix::Mat;
+use tg_trace::Counter;
+use tridiag_core::{Method, WorkspacePool};
+
+/// Cache key for arena buffers: problems with equal `ShapeClass` request
+/// identical buffer-size sequences from the reduction, so their workspaces
+/// are interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShapeClass {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Bandwidth (panel width `nb` for the direct method).
+    pub b: usize,
+    /// `syr2k` accumulation width (0 for single-blocking methods).
+    pub k: usize,
+}
+
+impl ShapeClass {
+    /// Shape class of an `n × n` problem reduced with `method`.
+    pub fn for_method(n: usize, method: &Method) -> ShapeClass {
+        match method {
+            Method::Direct { nb } => ShapeClass { n, b: *nb, k: 0 },
+            Method::Sbr { b, .. } => ShapeClass { n, b: *b, k: 0 },
+            Method::Dbbr { cfg, .. } | Method::DbbrGrouped { cfg, .. } => ShapeClass {
+                n,
+                b: cfg.b,
+                k: cfg.k,
+            },
+        }
+    }
+
+    /// Shape class of an `n × n` problem solved with an EVD `method`.
+    pub fn for_evd(n: usize, method: &tg_eigen::EvdMethod) -> ShapeClass {
+        use tg_eigen::EvdMethod;
+        match method {
+            EvdMethod::CusolverLike { nb } => ShapeClass { n, b: *nb, k: 0 },
+            EvdMethod::MagmaLike { b } => ShapeClass { n, b: *b, k: 0 },
+            EvdMethod::Proposed { b, k, .. } => ShapeClass { n, b: *b, k: *k },
+        }
+    }
+}
+
+/// Hit/miss accounting for one arena (or, summed, for a whole batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// `acquire` calls served from the free lists.
+    pub hits: u64,
+    /// `acquire` calls that had to allocate.
+    pub misses: u64,
+}
+
+impl ArenaStats {
+    /// `hits / (hits + misses)`, or 0 if the arena was never used.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another arena's counts (used to merge per-worker stats).
+    pub fn merge(&mut self, other: &ArenaStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A recycling [`WorkspacePool`] keyed by buffer length, valid for one
+/// [`ShapeClass`] at a time.
+#[derive(Debug, Default)]
+pub struct WorkspaceArena {
+    class: Option<ShapeClass>,
+    /// Free lists: buffer length → stack of retired buffers of that length.
+    free: BTreeMap<usize, Vec<Vec<f64>>>,
+    stats: ArenaStats,
+}
+
+impl WorkspaceArena {
+    /// Creates an empty arena (no class bound yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the shape class of the next problem. A class change drops
+    /// every cached buffer (their sizes no longer match the request
+    /// sequence); repeating the current class keeps the cache warm.
+    pub fn begin_problem(&mut self, class: ShapeClass) {
+        if self.class != Some(class) {
+            self.free.clear();
+            self.class = Some(class);
+        }
+    }
+
+    /// Hit/miss counts so far. These are exactly the values the arena also
+    /// reports to `tg-trace` (`Counter::ArenaHit` / `Counter::ArenaMiss`).
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Number of buffers currently parked in the free lists.
+    pub fn cached_buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+
+    #[cfg(test)]
+    fn peek_free(&self, len: usize) -> Option<&Vec<f64>> {
+        self.free.get(&len).and_then(|v| v.last())
+    }
+}
+
+impl WorkspacePool for WorkspaceArena {
+    fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
+        let len = rows * cols;
+        if let Some(mut buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.stats.hits += 1;
+            tg_trace::add(Counter::ArenaHit, 1);
+            // Zeroing (not just clearing debug poison) is what upholds the
+            // WorkspacePool bitwise contract: recycled buffers must be
+            // indistinguishable from Mat::zeros.
+            buf.fill(0.0);
+            Mat::from_col_major(rows, cols, buf)
+        } else {
+            self.stats.misses += 1;
+            tg_trace::add(Counter::ArenaMiss, 1);
+            Mat::zeros(rows, cols)
+        }
+    }
+
+    fn release(&mut self, m: Mat) {
+        let mut buf = m.into_col_major();
+        if cfg!(debug_assertions) {
+            buf.fill(f64::NAN);
+        }
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::DbbrConfig;
+
+    #[test]
+    fn reuse_zeroes_and_counts() {
+        let mut arena = WorkspaceArena::new();
+        arena.begin_problem(ShapeClass { n: 8, b: 2, k: 4 });
+
+        let mut m = arena.acquire(4, 3);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        m.fill(7.0);
+        arena.release(m);
+        assert_eq!(arena.cached_buffers(), 1);
+
+        // Same length → served from cache, and scrubbed back to zeros.
+        let m2 = arena.acquire(3, 4);
+        assert!(m2.as_slice().iter().all(|&x| x == 0.0), "stale data leaked");
+        assert_eq!(arena.stats(), ArenaStats { hits: 1, misses: 1 });
+
+        // Different length → miss.
+        let m3 = arena.acquire(5, 5);
+        assert_eq!(arena.stats(), ArenaStats { hits: 1, misses: 2 });
+        arena.release(m2);
+        arena.release(m3);
+        assert_eq!(arena.cached_buffers(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn released_buffers_are_poisoned() {
+        let mut arena = WorkspaceArena::new();
+        let mut m = arena.acquire(3, 3);
+        m.fill(1.5);
+        arena.release(m);
+        let parked = arena.peek_free(9).expect("buffer parked");
+        assert!(
+            parked.iter().all(|x| x.is_nan()),
+            "debug release must NaN-poison: {parked:?}"
+        );
+    }
+
+    #[test]
+    fn class_change_drops_cache() {
+        let mut arena = WorkspaceArena::new();
+        let c1 = ShapeClass { n: 16, b: 4, k: 8 };
+        let c2 = ShapeClass { n: 16, b: 4, k: 16 };
+        arena.begin_problem(c1);
+        let m = arena.acquire(4, 4);
+        arena.release(m);
+        assert_eq!(arena.cached_buffers(), 1);
+
+        arena.begin_problem(c1); // same class: cache survives
+        assert_eq!(arena.cached_buffers(), 1);
+
+        arena.begin_problem(c2); // class change: cache dropped
+        assert_eq!(arena.cached_buffers(), 0);
+        let _ = arena.acquire(4, 4);
+        assert_eq!(arena.stats(), ArenaStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn zero_length_buffers_recycle() {
+        let mut arena = WorkspaceArena::new();
+        let m = arena.acquire(5, 0);
+        assert_eq!((m.nrows(), m.ncols()), (5, 0));
+        arena.release(m);
+        let m2 = arena.acquire(0, 3);
+        assert_eq!((m2.nrows(), m2.ncols()), (0, 3));
+        assert_eq!(arena.stats(), ArenaStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn shape_class_mapping() {
+        let m = Method::Dbbr {
+            cfg: DbbrConfig::new(4, 16),
+            parallel_sweeps: 2,
+        };
+        assert_eq!(
+            ShapeClass::for_method(32, &m),
+            ShapeClass { n: 32, b: 4, k: 16 }
+        );
+        let e = tg_eigen::EvdMethod::proposed_default(256);
+        let c = ShapeClass::for_evd(256, &e);
+        assert_eq!(c.n, 256);
+        assert!(c.b > 0 && c.k.is_multiple_of(c.b));
+    }
+}

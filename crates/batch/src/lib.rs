@@ -1,0 +1,44 @@
+//! # tg-batch
+//!
+//! Batched multi-problem EVD / tridiagonalization.
+//!
+//! GPU eigensolver workloads frequently solve *many* moderate-size
+//! problems rather than one huge one (cuSOLVER ships `syevjBatched`; the
+//! paper's single-problem pipeline is the building block). This crate adds
+//! that batched layer on top of `tg-eigen`:
+//!
+//! * [`BatchScheduler`] — runs `syevd` / `tridiagonalize` over a slice of
+//!   problems on a pool of worker threads, handing out work through an
+//!   atomic index queue,
+//! * [`WorkspaceArena`] — a per-worker [`tridiag_core::WorkspacePool`]
+//!   that caches reduction/backtransform scratch buffers across problems,
+//!   keyed by [`ShapeClass`] `(n, b, k)`, with hit/miss counters mirrored
+//!   into `tg-trace`,
+//! * [`BatchResult`] / [`BatchStats`] — per-problem outputs in input
+//!   order plus scheduling and arena statistics.
+//!
+//! The headline contract is **per-problem determinism**: every batched
+//! result is bitwise-identical to the single-problem `syevd`/
+//! `tridiagonalize` output, independent of worker count and scheduling
+//! order. See `docs/BATCHING.md` for how the arena's zero-fill contract
+//! makes that hold.
+//!
+//! ```
+//! use tg_batch::BatchScheduler;
+//! use tg_eigen::EvdMethod;
+//! use tg_matrix::gen;
+//!
+//! let problems: Vec<_> = (0..4).map(|s| gen::random_symmetric(16, s)).collect();
+//! let method = EvdMethod::proposed_default(16);
+//! let batch = BatchScheduler::new(2).syevd(&problems, &method, true).unwrap();
+//! assert_eq!(batch.results.len(), 4);
+//! assert!(batch.stats.arena.hit_rate() > 0.0);
+//! ```
+
+pub mod arena;
+pub mod scheduler;
+pub mod threads;
+
+pub use arena::{ArenaStats, ShapeClass, WorkspaceArena};
+pub use scheduler::{BatchResult, BatchScheduler, BatchStats};
+pub use threads::worker_threads;

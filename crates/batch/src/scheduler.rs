@@ -1,0 +1,283 @@
+//! Worker-pool scheduler for batched EVD / tridiagonalization.
+//!
+//! The scheduler owns nothing between calls: each call spawns `workers`
+//! scoped threads, hands out problem indices through one atomic counter
+//! (dynamic work stealing — cheap and fair for uneven problem times), and
+//! gives every worker its own [`WorkspaceArena`]. Results land in
+//! per-problem slots, so output order always matches input order no matter
+//! which worker ran what.
+//!
+//! # Determinism contract
+//!
+//! Every problem is computed *exactly* as the single-problem path computes
+//! it: same kernels, same operation order, with scratch matrices that the
+//! arena guarantees are bitwise-zero on acquisition (see
+//! [`tridiag_core::workspace`]). A problem's result therefore depends only
+//! on its own input — never on which worker picked it up, how many workers
+//! there are, or what ran before it on the same arena. This is asserted
+//! bitwise by the tests here and in `tests/batching.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tg_eigen::{syevd_ws, EigenError, Evd, EvdMethod};
+use tg_matrix::Mat;
+use tridiag_core::{tridiagonalize_ws, Method, TridiagResult};
+
+use crate::arena::{ArenaStats, ShapeClass, WorkspaceArena};
+
+/// Execution statistics for one batch call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchStats {
+    /// Problems solved.
+    pub problems: usize,
+    /// Workers actually spawned (≤ the scheduler's configured count, never
+    /// more than the number of problems).
+    pub workers: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Workspace-arena hit/miss counts summed over all workers.
+    pub arena: ArenaStats,
+}
+
+impl BatchStats {
+    /// Problems per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.problems as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Results of a batch call: per-problem outputs in input order, plus
+/// [`BatchStats`].
+#[derive(Debug)]
+pub struct BatchResult<T> {
+    /// `results[i]` is the output for `problems[i]`.
+    pub results: Vec<T>,
+    /// Scheduling / arena statistics.
+    pub stats: BatchStats,
+}
+
+/// Runs `syevd`/`tridiagonalize` over slices of problems on a worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchScheduler {
+    workers: usize,
+}
+
+impl BatchScheduler {
+    /// Scheduler with an explicit worker count (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        BatchScheduler {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Scheduler sized by [`crate::worker_threads`] (honours `TG_THREADS`).
+    pub fn with_default_workers() -> Self {
+        Self::new(crate::threads::worker_threads())
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Solves the symmetric EVD of every matrix in `problems`.
+    ///
+    /// Inputs are not destroyed (each worker clones its problem into the
+    /// reduction, as [`tg_eigen::syevd_batched`] does). Results are
+    /// bitwise-identical to calling [`tg_eigen::syevd`] per problem. The
+    /// first error aborts the whole batch.
+    pub fn syevd(
+        &self,
+        problems: &[Mat],
+        method: &EvdMethod,
+        want_vectors: bool,
+    ) -> Result<BatchResult<Evd>, EigenError> {
+        let (raw, stats) = self.run(problems.len(), |i, arena| {
+            arena.begin_problem(ShapeClass::for_evd(problems[i].nrows(), method));
+            let mut a = problems[i].clone();
+            syevd_ws(&mut a, method, want_vectors, arena)
+        });
+        let results = raw.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchResult { results, stats })
+    }
+
+    /// Tridiagonalizes every matrix in `problems` (inputs preserved).
+    pub fn tridiagonalize(&self, problems: &[Mat], method: &Method) -> BatchResult<TridiagResult> {
+        let (results, stats) = self.run(problems.len(), |i, arena| {
+            arena.begin_problem(ShapeClass::for_method(problems[i].nrows(), method));
+            let mut a = problems[i].clone();
+            tridiagonalize_ws(&mut a, method, arena)
+        });
+        BatchResult { results, stats }
+    }
+
+    /// Generic work loop: pulls indices `0..count` off a shared atomic
+    /// queue, runs `f(i, arena)` under a `batch.problem` span, and returns
+    /// results in index order plus merged stats.
+    fn run<T, F>(&self, count: usize, f: F) -> (Vec<T>, BatchStats)
+    where
+        T: Send,
+        F: Fn(usize, &mut WorkspaceArena) -> T + Sync,
+    {
+        let start = Instant::now();
+        let workers = self.workers.min(count.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let merged = Mutex::new(ArenaStats::default());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut arena = WorkspaceArena::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let out = {
+                            let _span = tg_trace::span_cat(
+                                "batch.problem",
+                                "batch.problem",
+                                Some(("problem", i as u64)),
+                            );
+                            f(i, &mut arena)
+                        };
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
+                    merged.lock().unwrap().merge(&arena.stats());
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+            .collect();
+        let stats = BatchStats {
+            problems: count,
+            workers,
+            wall: start.elapsed(),
+            arena: *merged.lock().unwrap(),
+        };
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_eigen::{syevd, syevd_batched};
+    use tg_matrix::gen;
+
+    fn problems(count: usize, n: usize) -> Vec<Mat> {
+        (0..count)
+            .map(|s| gen::random_symmetric(n, 1000 + s as u64))
+            .collect()
+    }
+
+    #[test]
+    fn evd_bitwise_identical_to_single_problem_path() {
+        let n = 24;
+        let probs = problems(6, n);
+        let method = EvdMethod::proposed_default(n);
+        let batch = BatchScheduler::new(3).syevd(&probs, &method, true).unwrap();
+        assert_eq!(batch.results.len(), probs.len());
+        let serial = syevd_batched(&probs, &method, true).unwrap();
+        for ((a, got), reference) in probs.iter().zip(&batch.results).zip(&serial) {
+            let single = syevd(&mut a.clone(), &method, true).unwrap();
+            assert_eq!(got.eigenvalues, single.eigenvalues, "vs single syevd");
+            assert_eq!(got.eigenvectors, single.eigenvectors, "vs single syevd");
+            assert_eq!(got.eigenvalues, reference.eigenvalues, "vs serial batch");
+            assert_eq!(got.eigenvectors, reference.eigenvectors, "vs serial batch");
+        }
+    }
+
+    #[test]
+    fn evd_worker_count_does_not_change_results() {
+        let n = 20;
+        let probs = problems(5, n);
+        let method = EvdMethod::proposed_default(n);
+        let one = BatchScheduler::new(1).syevd(&probs, &method, true).unwrap();
+        let four = BatchScheduler::new(4).syevd(&probs, &method, true).unwrap();
+        for (a, b) in one.results.iter().zip(&four.results) {
+            assert_eq!(a.eigenvalues, b.eigenvalues);
+            assert_eq!(a.eigenvectors, b.eigenvectors);
+        }
+        assert_eq!(one.stats.workers, 1);
+        assert!(four.stats.workers <= 4);
+    }
+
+    #[test]
+    fn tridiag_batch_matches_single() {
+        let n = 28;
+        let probs = problems(4, n);
+        let method = Method::paper_default(n);
+        let batch = BatchScheduler::new(2).tridiagonalize(&probs, &method);
+        for (a, got) in probs.iter().zip(&batch.results) {
+            let single = tridiag_core::tridiagonalize(&mut a.clone(), &method);
+            assert_eq!(got.tri.d, single.tri.d);
+            assert_eq!(got.tri.e, single.tri.e);
+            // Q factors are private; compare them through their action.
+            let mut c1 = Mat::identity(n);
+            let mut c2 = Mat::identity(n);
+            got.apply_q(&mut c1);
+            single.apply_q(&mut c2);
+            assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn arena_stats_match_trace_counters() {
+        let n = 24;
+        let probs = problems(4, n);
+        let method = EvdMethod::proposed_default(n);
+        let session = tg_trace::TraceSession::begin();
+        let batch = BatchScheduler::new(2)
+            .syevd(&probs, &method, false)
+            .unwrap();
+        let trace = session.finish();
+        assert_eq!(
+            batch.stats.arena.hits,
+            trace.total(tg_trace::Counter::ArenaHit),
+            "arena hit count must agree with the trace counter"
+        );
+        assert_eq!(
+            batch.stats.arena.misses,
+            trace.total(tg_trace::Counter::ArenaMiss),
+            "arena miss count must agree with the trace counter"
+        );
+        assert_eq!(batch.stats.problems, probs.len());
+    }
+
+    #[test]
+    fn uniform_batch_hit_rate_exceeds_90_percent() {
+        // One worker, 16 identical-shape problems: after the first (all-
+        // miss) problem every workspace request is served from the cache.
+        let n = 32;
+        let probs = problems(16, n);
+        let method = EvdMethod::proposed_default(n);
+        let batch = BatchScheduler::new(1)
+            .syevd(&probs, &method, false)
+            .unwrap();
+        let stats = batch.stats.arena;
+        assert!(stats.hits + stats.misses > 0, "arena unused");
+        assert!(
+            stats.hit_rate() > 0.9,
+            "uniform-shape batch should be >90% hits, got {:.1}% ({stats:?})",
+            100.0 * stats.hit_rate()
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let method = EvdMethod::proposed_default(8);
+        let batch = BatchScheduler::new(4).syevd(&[], &method, true).unwrap();
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.stats.problems, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The workspace's single source of truth for worker-thread counts.
+//!
+//! Everything that sizes a worker pool or *reports* a thread count — the
+//! [`crate::BatchScheduler`] default, `tridiag info`/`tridiag batch`, the
+//! benches — goes through [`worker_threads`] instead of reading
+//! `rayon::current_num_threads` (or `available_parallelism`) ad hoc, so a
+//! single `TG_THREADS` override steers every component consistently.
+
+/// Number of worker threads to use by default.
+///
+/// Resolution order:
+/// 1. the `TG_THREADS` environment variable, if set to a positive integer;
+/// 2. the runtime's thread count (`rayon::current_num_threads`, which the
+///    offline shim backs with `available_parallelism`).
+pub fn worker_threads() -> usize {
+    std::env::var("TG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(rayon::current_num_threads)
+}
+
+/// One-line human-readable description for CLI/bench headers, e.g.
+/// `"4 (TG_THREADS)"` or `"8 (auto)"`.
+pub fn describe() -> String {
+    let n = worker_threads();
+    let source = if std::env::var("TG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .is_some()
+    {
+        "TG_THREADS"
+    } else {
+        "auto"
+    };
+    format!("{n} ({source})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_thread_count() {
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn describe_mentions_count() {
+        let d = describe();
+        assert!(d.contains(&worker_threads().to_string()), "{d}");
+    }
+}

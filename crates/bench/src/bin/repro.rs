@@ -11,6 +11,7 @@
 //! repro whatif              # hardware-scaling what-if scenarios
 //! repro fig10               # L2 cache-simulation hit rates (layout study)
 //! repro measured [n]        # CPU-scale measured shape checks (real kernels)
+//! repro batch_scaling       # batched EVD: modeled GPU scaling + measured CPU-scale run
 //! repro model_vs_measured   # traced-counter vs analytic-formula cross-check
 //! repro json                # machine-readable dump of all model figures
 //! ```
@@ -69,11 +70,12 @@ fn main() {
             verify(n);
         }
         "fig10" => fig10(),
+        "batch_scaling" => batch_scaling(),
         "model_vs_measured" => model_vs_measured(),
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -649,9 +651,64 @@ fn model_vs_measured() {
     use tg_gpu_sim::model_check;
     println!("== model vs measured (traced counters vs analytic formulas) ==");
     let shapes = [(64usize, 8usize, 16usize), (96, 12, 24), (128, 16, 32)];
-    let rows = model_check::model_vs_measured(&shapes);
+    let mut rows = model_check::model_vs_measured(&shapes);
+    rows.extend(model_check::check_batched_evd(48, 5));
     print!("{}", model_check::report(&rows));
     if rows.iter().any(|r| !r.within_tolerance()) {
         std::process::exit(1);
     }
+}
+
+fn batch_scaling() {
+    use tg_gpu_sim::batch;
+
+    // Paper-scale composition: the acceptance configuration (64 problems
+    // of n = 256) across worker counts on the modeled H100.
+    let dev = Device::h100();
+    let (n, count) = (256usize, 64usize);
+    let pts = batch::batch_scaling(&dev, n, count, &[1, 2, 4, 8, 16], false);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                fmt_time(p.serial_s),
+                fmt_time(p.batched_s),
+                format!("{:.2}x", p.speedup()),
+                format!("{:.1}%", 100.0 * p.hit_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("batch scaling — {count} EVDs of n = {n}, H100 model"),
+            &["workers", "serial loop", "batched", "speedup", "arena hits"],
+            &rows
+        )
+    );
+    let at8 = pts.iter().find(|p| p.workers == 8).expect("8-worker point");
+    println!(
+        "modeled speedup at 8 workers: {:.2}x ({})\n",
+        at8.speedup(),
+        if at8.speedup() >= 2.0 {
+            "meets the >=2x acceptance threshold"
+        } else {
+            "BELOW the >=2x acceptance threshold"
+        }
+    );
+
+    // CPU-scale measured run of the real scheduler (small sizes: this
+    // host is the correctness substrate, not the performance substrate).
+    let workers = tg_batch::worker_threads();
+    let (ms, hit_rate) = measured::batch_compare(48, 12, workers);
+    println!(
+        "{}",
+        render_table(
+            &format!("measured: batched EVD, real kernels ({workers} worker threads)"),
+            &["variant", "count", "time", "GFLOP/s"],
+            &measured::to_rows(&ms)
+        )
+    );
+    println!("measured arena hit rate: {:.1}%", 100.0 * hit_rate);
 }

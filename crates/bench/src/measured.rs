@@ -323,6 +323,45 @@ pub fn verification_suite(n: usize) -> Vec<Check> {
     out
 }
 
+/// Measured batched EVD: the serial reference loop
+/// ([`tg_eigen::syevd_batched`]) vs the `tg-batch` scheduler with cached
+/// per-worker workspace arenas. Returns the measurements plus the arena
+/// hit rate the scheduler achieved.
+///
+/// On a single-core host the scheduler's win is limited to allocation
+/// reuse; the paper-scale overlap win is composed by
+/// `tg_gpu_sim::batch` (see `repro batch_scaling`, which prints both).
+pub fn batch_compare(n: usize, count: usize, workers: usize) -> (Vec<Measurement>, f64) {
+    let problems: Vec<_> = (0..count)
+        .map(|i| gen::random_symmetric(n, 100 + i as u64))
+        .collect();
+    let method = EvdMethod::proposed_default(n);
+    let flops = count as f64 * 4.0 / 3.0 * (n as f64).powi(3);
+    let mut out = Vec::new();
+
+    let t_serial = time_it(|| {
+        let _ = tg_eigen::syevd_batched(&problems, &method, false).expect("serial batch failed");
+    });
+    out.push(Measurement {
+        label: "serial_loop".into(),
+        param: count,
+        seconds: t_serial,
+        gflops: flops / t_serial / 1e9,
+    });
+
+    let batch = tg_batch::BatchScheduler::new(workers)
+        .syevd(&problems, &method, false)
+        .expect("batched EVD failed");
+    let t_batch = batch.stats.wall.as_secs_f64();
+    out.push(Measurement {
+        label: format!("scheduler_w{}", batch.stats.workers),
+        param: count,
+        seconds: t_batch,
+        gflops: flops / t_batch / 1e9,
+    });
+    (out, batch.stats.arena.hit_rate())
+}
+
 /// Measurement rows → printable table rows.
 pub fn to_rows(ms: &[Measurement]) -> Vec<Vec<String>> {
     ms.iter()

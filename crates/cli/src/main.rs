@@ -4,6 +4,7 @@
 //! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile]
 //! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile]
 //! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile]
+//! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile]
 //! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
 //! tridiag info     <in.mtx>
 //! ```
@@ -26,6 +27,7 @@ fn usage() -> ! {
         "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile]\n  \
          tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile]\n  \
          tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile]\n  \
+         tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile]\n  \
          tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
          tridiag info     <in.mtx>"
     );
@@ -41,6 +43,9 @@ struct Opts {
     positional: Vec<String>,
     method: String,
     n: usize,
+    count: usize,
+    threads: usize,
+    vectors: bool,
     kind: String,
     seed: u64,
     trace: Option<String>,
@@ -52,6 +57,9 @@ fn parse_opts(args: &[String]) -> Opts {
         positional: Vec::new(),
         method: "proposed".into(),
         n: 0,
+        count: 0,
+        threads: 0,
+        vectors: false,
         kind: "random".into(),
         seed: 42,
         trace: None,
@@ -69,6 +77,19 @@ fn parse_opts(args: &[String]) -> Opts {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--count" => {
+                o.count = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                o.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--vectors" => o.vectors = true,
             "--kind" => o.kind = it.next().cloned().unwrap_or_else(|| usage()),
             "--seed" => {
                 o.seed = it
@@ -199,6 +220,43 @@ fn main() {
             write_matrix_market(output, &red.tri.to_dense(), true).unwrap_or_else(|e| fail(e));
             eprintln!("wrote tridiagonal form ({n}x{n}) to {output}");
         }
+        "batch" => {
+            if !o.positional.is_empty() {
+                usage()
+            }
+            if o.count == 0 || o.n == 0 {
+                fail("batch requires --count and --n");
+            }
+            let n = o.n;
+            let problems: Vec<Mat> = (0..o.count)
+                .map(|i| gen::random_symmetric(n, o.seed.wrapping_add(i as u64)))
+                .collect();
+            let workers = if o.threads > 0 {
+                o.threads
+            } else {
+                tg_batch::worker_threads()
+            };
+            let scheduler = tg_batch::BatchScheduler::new(workers);
+            let method = evd_method(&o.method, n);
+            let batch = with_trace(&o, || scheduler.syevd(&problems, &method, o.vectors))
+                .unwrap_or_else(|e| fail(e));
+            for (i, evd) in batch.results.iter().enumerate() {
+                let lo = evd.eigenvalues.first().copied().unwrap_or(f64::NAN);
+                let hi = evd.eigenvalues.last().copied().unwrap_or(f64::NAN);
+                println!("problem {i}: eigenvalues in [{lo:.6e}, {hi:.6e}]");
+            }
+            let s = batch.stats;
+            eprintln!(
+                "solved {} problems of n={} on {} workers in {:.3}s \
+                 ({:.1} problems/s, arena hit rate {:.1}%)",
+                s.problems,
+                n,
+                s.workers,
+                s.wall.as_secs_f64(),
+                s.throughput(),
+                100.0 * s.arena.hit_rate()
+            );
+        }
         "generate" => {
             let [output] = o.positional.as_slice() else {
                 usage()
@@ -226,6 +284,7 @@ fn main() {
             let m = read_matrix_market(input).unwrap_or_else(|e| fail(e));
             let n = m.nrows();
             println!("shape: {}x{}", n, m.ncols());
+            println!("worker threads: {}", tg_batch::threads::describe());
             println!("frobenius norm: {:.6e}", tg_matrix::frob_norm(&m));
             let total = n * m.ncols();
             let mut nnz = 0usize;

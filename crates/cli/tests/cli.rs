@@ -147,3 +147,56 @@ fn rejects_nonsymmetric_and_bad_args() {
     let out = bin().args(["info", "/nonexistent/x.mtx"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn batch_solves_and_reports_hit_rate() {
+    let out = bin()
+        .args([
+            "batch",
+            "--count",
+            "6",
+            "--n",
+            "24",
+            "--threads",
+            "2",
+            "--seed",
+            "9",
+            "--profile",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 6, "{stdout}");
+    assert!(stdout.contains("problem 0:"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("solved 6 problems"), "{stderr}");
+    assert!(stderr.contains("arena hit rate"), "{stderr}");
+    // --profile surfaces the arena counters from tg-trace
+    assert!(stderr.contains("arena_hits"), "{stderr}");
+
+    // missing --count / --n is an error
+    let out = bin().args(["batch", "--n", "8"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn info_reports_shared_thread_helper() {
+    let f = tmp("thr.mtx");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "8"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .env("TG_THREADS", "3")
+        .args(["info", f.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("worker threads: 3 (TG_THREADS)"), "{text}");
+}

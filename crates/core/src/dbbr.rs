@@ -16,6 +16,7 @@
 //! implement it.
 
 use crate::sbr::BandReduction;
+use crate::workspace::{AllocPool, WorkspacePool};
 use tg_blas::level3::symm_lower;
 use tg_blas::{gemm, gemm_into, syr2k_blocked, syr2k_square, Op};
 use tg_householder::panel::panel_qr;
@@ -56,6 +57,15 @@ impl DbbrConfig {
 /// Double-blocking band reduction of symmetric `A` (lower triangle
 /// referenced, overwritten) to bandwidth `cfg.b`.
 pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
+    dbbr_ws(a, cfg, &mut AllocPool)
+}
+
+/// Like [`dbbr`] but draws every scratch matrix (the accumulated `(Z, Y)`
+/// pair and the per-panel `U`) from `pool` instead of allocating. With any
+/// conforming pool (see [`WorkspacePool`]) the output is bitwise-identical
+/// to [`dbbr`]; a caching pool such as `tg-batch`'s `WorkspaceArena` makes
+/// repeated same-shape reductions allocation-free after the first.
+pub fn dbbr_ws(a: &mut Mat, cfg: &DbbrConfig, pool: &mut dyn WorkspacePool) -> BandReduction {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
     let _span = tg_trace::span_cat("reduce.dbbr", "stage", Some(("n", n as u64)));
@@ -67,8 +77,8 @@ pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
     while i + b + 1 < n {
         // This outer block accumulates panels j = i, i+b, … while j < i+k.
         let sup = n - i - b; // row support of this block's factors: rows i+b..n
-        let mut zbig = Mat::zeros(sup, 0);
-        let mut ybig = Mat::zeros(sup, 0);
+        let mut zbig = pool.acquire(sup, 0);
+        let mut ybig = pool.acquire(sup, 0);
         let mut kacc = 0usize;
         let mut j = i;
         while j < i + k && j + b + 1 < n {
@@ -110,7 +120,7 @@ pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
                                   // ── corrected ZY computation against the *virtually updated*
                                   //    trailing matrix Â = A − Σ pending (Z Yᵀ + Y Zᵀ):
                                   //    U = Â W,  S = Wᵀ U,  Z = U − ½ Y S
-            let mut u = Mat::zeros(m, kr);
+            let mut u = pool.acquire(m, kr);
             {
                 let trail = a.view(j + b, j + b, m, m);
                 symm_lower(1.0, &trail, &w.as_ref(), 0.0, &mut u.as_mut());
@@ -153,14 +163,15 @@ pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
             );
 
             // ── line 6: append to the accumulated (Z, Y)
-            let mut znew = Mat::zeros(sup, kacc + kr);
+            let mut znew = pool.acquire(sup, kacc + kr);
             znew.view_mut(0, 0, sup, kacc).copy_from(&zbig.as_ref());
             znew.view_mut(j - i, kacc, m, kr).copy_from(&z.as_ref());
-            let mut ynew = Mat::zeros(sup, kacc + kr);
+            let mut ynew = pool.acquire(sup, kacc + kr);
             ynew.view_mut(0, 0, sup, kacc).copy_from(&ybig.as_ref());
             ynew.view_mut(j - i, kacc, m, kr).copy_from(&y.as_ref());
-            zbig = znew;
-            ybig = ynew;
+            pool.release(z);
+            pool.release(std::mem::replace(&mut zbig, znew));
+            pool.release(std::mem::replace(&mut ybig, ynew));
             kacc += kr;
 
             factors.push((j + b, WyPair { w, y }));
@@ -181,6 +192,8 @@ pub fn dbbr(a: &mut Mat, cfg: &DbbrConfig) -> BandReduction {
                 syr2k_blocked(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k);
             }
         }
+        pool.release(zbig);
+        pool.release(ybig);
         i += k;
     }
 
@@ -264,5 +277,52 @@ mod tests {
     #[should_panic]
     fn k_must_be_multiple_of_b() {
         let _ = DbbrConfig::new(3, 7);
+    }
+
+    /// Minimal conforming caching pool: recycles buffers by exact length,
+    /// zeroing on reuse. Validates the [`WorkspacePool`] determinism
+    /// contract without depending on `tg-batch`.
+    #[derive(Default)]
+    struct RecyclingPool {
+        free: std::collections::BTreeMap<usize, Vec<Vec<f64>>>,
+        reused: usize,
+    }
+
+    impl crate::workspace::WorkspacePool for RecyclingPool {
+        fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
+            if let Some(mut buf) = self.free.get_mut(&(rows * cols)).and_then(Vec::pop) {
+                self.reused += 1;
+                buf.fill(0.0);
+                Mat::from_col_major(rows, cols, buf)
+            } else {
+                Mat::zeros(rows, cols)
+            }
+        }
+
+        fn release(&mut self, m: Mat) {
+            let buf = m.into_col_major();
+            self.free.entry(buf.len()).or_default().push(buf);
+        }
+    }
+
+    #[test]
+    fn dbbr_ws_bitwise_matches_dbbr() {
+        let n = 30;
+        let cfg = DbbrConfig::new(3, 6);
+        let a0 = gen::random_symmetric(n, 17);
+        let reference = dbbr(&mut a0.clone(), &cfg);
+        let mut pool = RecyclingPool::default();
+        // run twice through the same pool: the second pass reuses buffers
+        for pass in 0..2 {
+            let red = dbbr_ws(&mut a0.clone(), &cfg, &mut pool);
+            assert_eq!(red.band, reference.band, "band differs on pass {pass}");
+            assert_eq!(red.factors.len(), reference.factors.len());
+            for ((o1, f1), (o2, f2)) in red.factors.iter().zip(&reference.factors) {
+                assert_eq!(o1, o2);
+                assert_eq!(f1.w, f2.w, "W differs on pass {pass}");
+                assert_eq!(f1.y, f2.y, "Y differs on pass {pass}");
+            }
+        }
+        assert!(pool.reused > 0, "second pass never hit the pool");
     }
 }

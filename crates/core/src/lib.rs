@@ -22,10 +22,12 @@ pub mod givens_tridiag;
 pub mod sbr;
 pub mod sytrd;
 pub mod two_stage;
+pub mod workspace;
 
 pub use bc::{bulge_chase_pipelined, bulge_chase_seq, BcResult};
-pub use dbbr::{dbbr, DbbrConfig};
+pub use dbbr::{dbbr, dbbr_ws, DbbrConfig};
 pub use givens_tridiag::givens_tridiagonalize;
 pub use sbr::{band_reduce, BandReduction};
 pub use sytrd::{sytrd_blocked, sytrd_unblocked, SytrdResult};
-pub use two_stage::{tridiagonalize, Method, TridiagResult};
+pub use two_stage::{tridiagonalize, tridiagonalize_ws, Method, TridiagResult};
+pub use workspace::{AllocPool, WorkspacePool};

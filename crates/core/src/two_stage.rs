@@ -10,9 +10,10 @@
 
 use crate::backtransform::{apply_q1, apply_q1_blocked};
 use crate::bc::{bulge_chase_grouped, bulge_chase_pipelined, bulge_chase_seq, BcResult};
-use crate::dbbr::{dbbr, DbbrConfig};
+use crate::dbbr::{dbbr_ws, DbbrConfig};
 use crate::sbr::band_reduce;
 use crate::sytrd::{sytrd_blocked, SytrdResult};
+use crate::workspace::{AllocPool, WorkspacePool};
 use tg_householder::wblock::WyPair;
 use tg_matrix::{Mat, Tridiagonal};
 
@@ -135,6 +136,18 @@ impl TridiagResult {
 /// assert!(similarity_residual(&a, &q, &red.tri.to_dense()) < 1e-11);
 /// ```
 pub fn tridiagonalize(a: &mut Mat, method: &Method) -> TridiagResult {
+    tridiagonalize_ws(a, method, &mut AllocPool)
+}
+
+/// Like [`tridiagonalize`] but draws the reduction's scratch matrices from
+/// `pool` (see [`crate::workspace`]). The DBBR pipelines route their
+/// per-panel and accumulated `(Z, Y)` buffers through the pool; output is
+/// bitwise-identical to [`tridiagonalize`] for any conforming pool.
+pub fn tridiagonalize_ws(
+    a: &mut Mat,
+    method: &Method,
+    pool: &mut dyn WorkspacePool,
+) -> TridiagResult {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
     match method {
@@ -166,7 +179,7 @@ pub fn tridiagonalize(a: &mut Mat, method: &Method) -> TridiagResult {
             cfg,
             parallel_sweeps,
         } => {
-            let red = dbbr(a, cfg);
+            let red = dbbr_ws(a, cfg, pool);
             let bc = bulge_chase_pipelined(&red.band, (*parallel_sweeps).max(1));
             TridiagResult {
                 tri: bc.tri.clone(),
@@ -182,7 +195,7 @@ pub fn tridiagonalize(a: &mut Mat, method: &Method) -> TridiagResult {
             workers,
             group,
         } => {
-            let red = dbbr(a, cfg);
+            let red = dbbr_ws(a, cfg, pool);
             let bc = bulge_chase_grouped(&red.band, (*workers).max(1), (*group).max(1));
             TridiagResult {
                 tri: bc.tri.clone(),

@@ -1,0 +1,61 @@
+//! Scratch-buffer injection for the reduction kernels.
+//!
+//! The band-reduction stages allocate sizeable intermediates — the
+//! accumulated `(Z, Y)` pair grows to `n × k` per outer block, and every
+//! panel needs a fresh `U`/`Z` — so a driver solving many problems in a row
+//! (see `tg-batch`) pays the allocator once per buffer per problem. The
+//! [`WorkspacePool`] trait lets a caller hand the kernels recycled storage
+//! instead: `dbbr_ws` / `tridiagonalize_ws` request every scratch matrix
+//! through the pool and return it when done.
+//!
+//! **Determinism contract:** a pool must return buffers that are
+//! *bitwise-zero*, exactly like `Mat::zeros`. Under that contract the
+//! workspace-taking variants perform the identical floating-point
+//! operations as the allocating ones, so their outputs are
+//! bitwise-identical regardless of which pool is used. The default
+//! [`AllocPool`] simply allocates and drops.
+
+use tg_matrix::Mat;
+
+/// Supplies zeroed scratch matrices and accepts them back for reuse.
+///
+/// Implementations must return buffers indistinguishable from
+/// `Mat::zeros(rows, cols)`; everything else (caching policy, accounting,
+/// debug poisoning) is up to the pool.
+pub trait WorkspacePool {
+    /// Returns a zero-filled `rows × cols` matrix.
+    fn acquire(&mut self, rows: usize, cols: usize) -> Mat;
+
+    /// Hands a no-longer-needed buffer back to the pool. The pool may
+    /// recycle or drop it; the contents are dead.
+    fn release(&mut self, m: Mat);
+}
+
+/// The trivial pool: every acquire is a fresh allocation, every release a
+/// drop. [`crate::dbbr`] and [`crate::tridiagonalize`] use this, so the
+/// allocating entry points are literally the `_ws` variants with this pool.
+#[derive(Default)]
+pub struct AllocPool;
+
+impl WorkspacePool for AllocPool {
+    fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
+        Mat::zeros(rows, cols)
+    }
+
+    fn release(&mut self, _m: Mat) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_pool_returns_zeros() {
+        let mut pool = AllocPool;
+        let m = pool.acquire(3, 5);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 5);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        pool.release(m);
+    }
+}

@@ -14,7 +14,7 @@ use crate::dc::stedc;
 use crate::steqr::sterf;
 use crate::EigenError;
 use tg_matrix::Mat;
-use tridiag_core::{tridiagonalize, DbbrConfig, Method};
+use tridiag_core::{tridiagonalize_ws, AllocPool, DbbrConfig, Method, WorkspacePool};
 
 /// EVD pipeline selector.
 #[derive(Clone, Debug)]
@@ -129,11 +129,24 @@ impl Evd {
 /// assert!(evd.residual(&a) < 1e-11);
 /// ```
 pub fn syevd(a: &mut Mat, method: &EvdMethod, want_vectors: bool) -> Result<Evd, EigenError> {
+    syevd_ws(a, method, want_vectors, &mut AllocPool)
+}
+
+/// Like [`syevd`] but draws the reduction's scratch matrices from `pool`
+/// (see [`tridiag_core::workspace`]). The output is bitwise-identical to
+/// [`syevd`] for any conforming pool; `tg-batch` uses this to reuse
+/// workspaces across the problems of a batch.
+pub fn syevd_ws(
+    a: &mut Mat,
+    method: &EvdMethod,
+    want_vectors: bool,
+    pool: &mut dyn WorkspacePool,
+) -> Result<Evd, EigenError> {
     let n = a.nrows();
     let _evd = tg_trace::span_cat("evd", "stage", Some(("n", n as u64)));
     let res = {
         let _span = tg_trace::span("evd.reduce");
-        tridiagonalize(a, &method.to_tridiag_method())
+        tridiagonalize_ws(a, &method.to_tridiag_method(), pool)
     };
     if !want_vectors {
         let _span = tg_trace::span("evd.solve");
@@ -160,6 +173,31 @@ pub fn syevd(a: &mut Mat, method: &EvdMethod, want_vectors: bool) -> Result<Evd,
         eigenvalues,
         eigenvectors: Some(v),
     })
+}
+
+/// Computes the symmetric EVD of every matrix in `problems` with one call
+/// — the *serial reference* for batched execution.
+///
+/// Problems are solved in order on the calling thread, each through the
+/// same single-problem [`syevd`] path (matrices are copied; the inputs are
+/// not destroyed). This is the baseline that `tg-batch`'s multi-worker
+/// `BatchScheduler` is required to match bitwise, and the serial loop that
+/// `repro batch_scaling` compares against. The first error aborts the
+/// batch.
+pub fn syevd_batched(
+    problems: &[Mat],
+    method: &EvdMethod,
+    want_vectors: bool,
+) -> Result<Vec<Evd>, EigenError> {
+    let _span = tg_trace::span_cat(
+        "evd.batch_serial",
+        "batch",
+        Some(("count", problems.len() as u64)),
+    );
+    problems
+        .iter()
+        .map(|a| syevd(&mut a.clone(), method, want_vectors))
+        .collect()
 }
 
 #[cfg(test)]
@@ -223,6 +261,20 @@ mod tests {
         let evd = syevd(&mut a, &EvdMethod::proposed_default(n), true).unwrap();
         assert!(orthogonality_residual(evd.eigenvectors.as_ref().unwrap()) < 1e-10);
         assert!(evd.residual(&a0) < 1e-10);
+    }
+
+    #[test]
+    fn batched_serial_matches_singles_bitwise() {
+        let n = 24;
+        let problems: Vec<Mat> = (0..4).map(|s| gen::random_symmetric(n, 100 + s)).collect();
+        let m = EvdMethod::proposed_default(n);
+        let batch = syevd_batched(&problems, &m, true).unwrap();
+        assert_eq!(batch.len(), problems.len());
+        for (a, got) in problems.iter().zip(&batch) {
+            let single = syevd(&mut a.clone(), &m, true).unwrap();
+            assert_eq!(got.eigenvalues, single.eigenvalues);
+            assert_eq!(got.eigenvectors, single.eigenvectors);
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod anchors;
+pub mod batch;
 pub mod bc_model;
 pub mod cache;
 pub mod calib;

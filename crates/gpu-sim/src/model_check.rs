@@ -123,6 +123,52 @@ pub fn check_gemm(m: usize, n: usize, k: usize) -> Vec<ModelRow> {
     ]
 }
 
+/// Runs the *real* `tg-batch` scheduler over `count` identical `n × n`
+/// problems (identical inputs make the data-dependent QL iteration counts
+/// equal) and checks two batch-model invariants against the trace:
+///
+/// * counted batch FLOPs = `count ×` single-problem FLOPs — batching must
+///   not change the arithmetic, only its schedule;
+/// * arena hits = `(count − 1)/count` of all workspace requests — the
+///   [`crate::batch::predicted_hit_rate`] arithmetic, exact for a
+///   uniform-shape batch on one worker.
+pub fn check_batched_evd(n: usize, count: usize) -> Vec<ModelRow> {
+    use tg_batch::BatchScheduler;
+    use tg_eigen::{syevd, EvdMethod};
+
+    let method = EvdMethod::proposed_default(n);
+    let a = gen::random_symmetric(n, 41);
+    let problems = vec![a.clone(); count];
+
+    let t1 = measure(|| {
+        let _ = syevd(&mut a.clone(), &method, false);
+    });
+    let single_flops = t1.total(Counter::Flops) as f64;
+
+    let tb = measure(|| {
+        let _ = BatchScheduler::new(1).syevd(&problems, &method, false);
+    });
+    let hits = tb.total(Counter::ArenaHit) as f64;
+    let misses = tb.total(Counter::ArenaMiss) as f64;
+
+    vec![
+        ModelRow {
+            kernel: "batched_evd",
+            shape: (n, count, 0),
+            quantity: "flops",
+            measured: tb.total(Counter::Flops) as f64,
+            modeled: count as f64 * single_flops,
+        },
+        ModelRow {
+            kernel: "batched_evd",
+            shape: (n, count, 0),
+            quantity: "arena_hits",
+            measured: hits,
+            modeled: crate::batch::predicted_hit_rate(count, 1) * (hits + misses),
+        },
+    ]
+}
+
 /// Runs the full cross-check over a list of `(n, b, k)` shapes: each shape
 /// contributes both `syr2k` variants at `(n, k)` and a GEMM at
 /// `(m = n, n = b, k)` — the panel-update shape that dominates DBBR.
@@ -181,6 +227,22 @@ pub fn report(rows: &[ModelRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batched_evd_flops_and_hits_match_model() {
+        for r in check_batched_evd(32, 5) {
+            assert!(
+                r.within_tolerance(),
+                "{} {:?} {}: measured {} vs model {} ({:.2}%)",
+                r.kernel,
+                r.shape,
+                r.quantity,
+                r.measured,
+                r.modeled,
+                r.rel_err() * 100.0
+            );
+        }
+    }
 
     /// Acceptance criterion: model vs measured agrees within 1 % on at
     /// least two `(n, b, k)` shapes.

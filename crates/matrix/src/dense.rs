@@ -67,6 +67,13 @@ impl Mat {
         Mat { rows, cols, data }
     }
 
+    /// Consumes the matrix and returns its column-major storage (the
+    /// inverse of [`Mat::from_col_major`]) — lets buffer pools recycle the
+    /// allocation.
+    pub fn into_col_major(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Builds a matrix from row-major data (convenient in tests).
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "data length mismatch");

@@ -108,11 +108,22 @@ impl Trace {
             Counter::BytesWritten,
             Counter::Sweeps,
             Counter::BulgeTasks,
+            Counter::ArenaHit,
+            Counter::ArenaMiss,
         ] {
             let v = self.total(c);
             if v != 0 {
                 let _ = writeln!(out, "  total {:<14} {v}", c.key());
             }
+        }
+        let hits = self.total(Counter::ArenaHit);
+        let misses = self.total(Counter::ArenaMiss);
+        if hits + misses > 0 {
+            let _ = writeln!(
+                out,
+                "  arena hit rate       {:.1}%",
+                100.0 * hits as f64 / (hits + misses) as f64
+            );
         }
         out
     }
@@ -197,7 +208,7 @@ mod tests {
                     tid: 0,
                     ts_us: 0.0,
                     dur_us: 900.0,
-                    counters: [350_000, 16_384, 8_192, 0, 0],
+                    counters: [350_000, 16_384, 8_192, 0, 0, 0, 0],
                     virtual_time: false,
                 },
                 Event {
@@ -207,7 +218,7 @@ mod tests {
                     tid: 0,
                     ts_us: 900.0,
                     dur_us: 100.0,
-                    counters: [50_000, 0, 0, 0, 0],
+                    counters: [50_000, 0, 0, 0, 0, 0, 0],
                     virtual_time: false,
                 },
                 Event {
@@ -221,7 +232,7 @@ mod tests {
                     virtual_time: true,
                 },
             ],
-            totals: [400_000, 16_384, 8_192, 0, 0],
+            totals: [400_000, 16_384, 8_192, 0, 0, 0, 0],
             wall: std::time::Duration::from_micros(1000),
         }
     }

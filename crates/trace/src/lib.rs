@@ -51,10 +51,14 @@ pub enum Counter {
     Sweeps,
     /// Bulge-chasing tasks executed.
     BulgeTasks,
+    /// Workspace-arena buffer requests served from the cache.
+    ArenaHit,
+    /// Workspace-arena buffer requests that had to allocate.
+    ArenaMiss,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 5;
+pub const N_COUNTERS: usize = 7;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -63,6 +67,8 @@ impl Counter {
         Counter::BytesWritten,
         Counter::Sweeps,
         Counter::BulgeTasks,
+        Counter::ArenaHit,
+        Counter::ArenaMiss,
     ];
 
     fn index(self) -> usize {
@@ -72,6 +78,8 @@ impl Counter {
             Counter::BytesWritten => 2,
             Counter::Sweeps => 3,
             Counter::BulgeTasks => 4,
+            Counter::ArenaHit => 5,
+            Counter::ArenaMiss => 6,
         }
     }
 
@@ -83,6 +91,8 @@ impl Counter {
             Counter::BytesWritten => "bytes_written",
             Counter::Sweeps => "sweeps",
             Counter::BulgeTasks => "bulge_tasks",
+            Counter::ArenaHit => "arena_hits",
+            Counter::ArenaMiss => "arena_misses",
         }
     }
 }
@@ -130,6 +140,8 @@ impl Trace {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static TOTALS: [AtomicU64; N_COUNTERS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -45,7 +45,9 @@
 //! | [`tg_eigen`](eigen) | QL iteration, divide & conquer, `syevd` drivers |
 //! | [`tg_gpu_sim`](gpu_sim) | device models, kernel cost models, pipeline + cache simulators, figure regenerators |
 //! | [`tg_svd`](svd) | two-stage bidiagonal reduction + singular values (the Gates et al. SVD analogue) |
+//! | [`tg_batch`](batch) | batched multi-problem EVD: worker-pool scheduler + cached workspace arenas |
 
+pub use tg_batch as batch;
 pub use tg_blas as blas;
 pub use tg_eigen as eigen;
 pub use tg_gpu_sim as gpu_sim;
@@ -56,8 +58,10 @@ pub use tridiag_core as core;
 
 /// Everything a downstream user typically needs.
 pub mod prelude {
+    pub use tg_batch::{BatchScheduler, WorkspaceArena};
     pub use tg_eigen::{
-        bisect_evd, jacobi_evd, sbevd::sbevd, stedc, steqr, sterf, sterf_pwk, syevd, Evd, EvdMethod,
+        bisect_evd, jacobi_evd, sbevd::sbevd, stedc, steqr, sterf, sterf_pwk, syevd, syevd_batched,
+        Evd, EvdMethod,
     };
     pub use tg_matrix::{
         gen, orthogonality_residual, similarity_residual, Mat, SymBand, Tridiagonal,

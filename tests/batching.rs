@@ -1,0 +1,142 @@
+//! Integration tests for the batched EVD subsystem: determinism across
+//! the scheduler, arena behaviour, and observability of the arena
+//! counters through the `--profile` exporter.
+
+use tridiag_gpu::prelude::*;
+
+fn problems(count: usize, n: usize) -> Vec<Mat> {
+    (0..count)
+        .map(|i| gen::random_symmetric(n, 7_000 + i as u64))
+        .collect()
+}
+
+/// The ISSUE acceptance assertion: every batched result bitwise-identical
+/// to the single-problem `syevd`, for vectors and values alike, across
+/// worker counts.
+#[test]
+fn batched_results_bitwise_identical_to_syevd() {
+    let n = 28;
+    let probs = problems(8, n);
+    let method = EvdMethod::proposed_default(n);
+    let singles: Vec<Evd> = probs
+        .iter()
+        .map(|a| syevd(&mut a.clone(), &method, true).unwrap())
+        .collect();
+    for workers in [1usize, 2, 5] {
+        let batch = BatchScheduler::new(workers)
+            .syevd(&probs, &method, true)
+            .unwrap();
+        for (i, (got, want)) in batch.results.iter().zip(&singles).enumerate() {
+            assert_eq!(
+                got.eigenvalues, want.eigenvalues,
+                "problem {i}, {workers} workers: eigenvalues"
+            );
+            assert_eq!(
+                got.eigenvectors, want.eigenvectors,
+                "problem {i}, {workers} workers: eigenvectors"
+            );
+        }
+    }
+}
+
+/// The serial reference loop in tg-eigen and the scheduler agree with
+/// each other too (both are held to the single-problem path).
+#[test]
+fn scheduler_matches_serial_reference() {
+    let n = 20;
+    let probs = problems(5, n);
+    let method = EvdMethod::proposed_default(n);
+    let serial = syevd_batched(&probs, &method, false).unwrap();
+    let batch = BatchScheduler::new(3)
+        .syevd(&probs, &method, false)
+        .unwrap();
+    for (a, b) in serial.iter().zip(&batch.results) {
+        assert_eq!(a.eigenvalues, b.eigenvalues);
+    }
+}
+
+/// Arena hit rate on a uniform-shape batch exceeds 90% and is visible —
+/// with the same numbers — in the `--profile` output.
+#[test]
+fn arena_hit_rate_visible_in_profile_and_above_90_percent() {
+    let n = 32;
+    let probs = problems(16, n);
+    let method = EvdMethod::proposed_default(n);
+    let session = tg_trace::TraceSession::begin();
+    let batch = BatchScheduler::new(1)
+        .syevd(&probs, &method, false)
+        .unwrap();
+    let trace = session.finish();
+
+    let stats = batch.stats.arena;
+    assert!(
+        stats.hit_rate() > 0.9,
+        "uniform batch hit rate {:.1}%",
+        100.0 * stats.hit_rate()
+    );
+    assert_eq!(stats.hits, trace.total(tg_trace::Counter::ArenaHit));
+    assert_eq!(stats.misses, trace.total(tg_trace::Counter::ArenaMiss));
+
+    let table = trace.profile_table();
+    assert!(table.contains("arena_hits"), "{table}");
+    assert!(table.contains("arena hit rate"), "{table}");
+    let line = table
+        .lines()
+        .find(|l| l.contains("arena hit rate"))
+        .unwrap()
+        .to_string();
+    let pct: f64 = line
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    assert!(
+        (pct - 100.0 * stats.hit_rate()).abs() < 0.05 + 1e-9,
+        "profile reports {pct}%, stats say {:.1}%",
+        100.0 * stats.hit_rate()
+    );
+    // per-problem spans are attributed to the batch.problem category
+    assert!(
+        trace
+            .events
+            .iter()
+            .filter(|e| e.name == "batch.problem" && e.cat == "batch.problem")
+            .count()
+            == probs.len(),
+        "one batch.problem span per problem"
+    );
+}
+
+/// Mixed-shape batches stay correct: the per-problem class switch drops
+/// the cache instead of serving wrong-size (or stale) buffers.
+#[test]
+fn mixed_shape_batch_is_still_bitwise_correct() {
+    let method = EvdMethod::proposed_default(24);
+    let probs: Vec<Mat> = [16usize, 24, 16, 24, 32]
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| gen::random_symmetric(n, 50 + i as u64))
+        .collect();
+    let batch = BatchScheduler::new(2).syevd(&probs, &method, true).unwrap();
+    for (a, got) in probs.iter().zip(&batch.results) {
+        let single = syevd(&mut a.clone(), &method, true).unwrap();
+        assert_eq!(got.eigenvalues, single.eigenvalues);
+        assert_eq!(got.eigenvectors, single.eigenvectors);
+    }
+}
+
+/// Batched tridiagonalization (not just full EVD) is deterministic too.
+#[test]
+fn batched_tridiagonalize_bitwise() {
+    let n = 24;
+    let probs = problems(4, n);
+    let method = Method::paper_default(n);
+    let batch = BatchScheduler::new(2).tridiagonalize(&probs, &method);
+    for (a, got) in probs.iter().zip(&batch.results) {
+        let single = tridiagonalize(&mut a.clone(), &method);
+        assert_eq!(got.tri.d, single.tri.d);
+        assert_eq!(got.tri.e, single.tri.e);
+    }
+}

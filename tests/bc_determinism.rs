@@ -1,0 +1,96 @@
+//! Determinism stress for pipelined bulge chasing.
+//!
+//! Algorithm 2's progress-gate protocol promises more than "numerically
+//! close": because every reflector is computed from values that are fully
+//! written before the gate opens, the result must be **bitwise identical**
+//! across repeats and across every `parallel_sweeps` setting — the thread
+//! interleaving may change, the arithmetic may not. These tests hammer
+//! that promise on one band with `parallel_sweeps ∈ {1, 2, 4, 7}`
+//! (including a deliberately odd, non-divisor count) and repeated runs.
+
+use tridiag_gpu::prelude::*;
+
+/// Bitwise comparison of two BcResults (the struct doesn't expose
+/// `PartialEq`; compare every field explicitly so nothing is skipped).
+fn assert_bc_bitwise(a: &tridiag_gpu::core::BcResult, b: &tridiag_gpu::core::BcResult, ctx: &str) {
+    assert_eq!(a.tri.d, b.tri.d, "{ctx}: diagonal");
+    assert_eq!(a.tri.e, b.tri.e, "{ctx}: off-diagonal");
+    assert_eq!(a.reflectors.len(), b.reflectors.len(), "{ctx}: sweep count");
+    for (s, (ra, rb)) in a.reflectors.iter().zip(&b.reflectors).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{ctx}: sweep {s} task count");
+        for (t, (x, y)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(x.col, y.col, "{ctx}: sweep {s} task {t} col");
+            assert_eq!(x.row0, y.row0, "{ctx}: sweep {s} task {t} row0");
+            assert!(
+                x.tau.to_bits() == y.tau.to_bits(),
+                "{ctx}: sweep {s} task {t} tau {} vs {}",
+                x.tau,
+                y.tau
+            );
+            assert_eq!(x.v.len(), y.v.len(), "{ctx}: sweep {s} task {t} v len");
+            for (i, (va, vb)) in x.v.iter().zip(&y.v).enumerate() {
+                assert!(
+                    va.to_bits() == vb.to_bits(),
+                    "{ctx}: sweep {s} task {t} v[{i}] {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+fn band(n: usize, b: usize, seed: u64) -> SymBand {
+    let dense = gen::random_symmetric_band(n, b, seed);
+    SymBand::from_dense_lower(&dense, b)
+}
+
+#[test]
+fn pipelined_bitwise_stable_across_sweep_counts_and_repeats() {
+    for &(n, b) in &[(40usize, 3usize), (64, 5)] {
+        let band = band(n, b, 7);
+        let reference = bulge_chase_seq(&band);
+        for &s in &[1usize, 2, 4, 7] {
+            let first = bulge_chase_pipelined(&band, s);
+            assert_bc_bitwise(&reference, &first, &format!("n={n} b={b} S={s} vs seq"));
+            // repeats: different thread interleavings, same bits
+            for rep in 0..3 {
+                let again = bulge_chase_pipelined(&band, s);
+                assert_bc_bitwise(&first, &again, &format!("n={n} b={b} S={s} repeat {rep}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_bitwise_stable_on_graded_band() {
+    // wildly graded magnitudes make any reordered accumulation visible
+    let n = 48;
+    let b = 4;
+    let mut dense = gen::random_symmetric_band(n, b, 21);
+    for i in 0..n {
+        let s = 10f64.powf(-(9.0 * i as f64 / n as f64));
+        for j in 0..n {
+            let v = dense[(i, j)] * s;
+            dense[(i, j)] = v;
+            dense[(j, i)] = v;
+        }
+    }
+    let band = SymBand::from_dense_lower(&dense, b);
+    let reference = bulge_chase_pipelined(&band, 1);
+    for &s in &[2usize, 4, 7] {
+        let got = bulge_chase_pipelined(&band, s);
+        assert_bc_bitwise(&reference, &got, &format!("graded S={s}"));
+    }
+}
+
+#[test]
+fn degenerate_bands_stay_deterministic() {
+    // b = 1 (already tridiagonal) and tiny n must not diverge either
+    for &(n, b) in &[(3usize, 1usize), (5, 1), (6, 4)] {
+        let band = band(n, b, 3);
+        let reference = bulge_chase_seq(&band);
+        for &s in &[1usize, 2, 4, 7] {
+            let got = bulge_chase_pipelined(&band, s);
+            assert_bc_bitwise(&reference, &got, &format!("degenerate n={n} b={b} S={s}"));
+        }
+    }
+}
