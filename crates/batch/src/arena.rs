@@ -142,8 +142,19 @@ impl WorkspacePool for WorkspaceArena {
             tg_trace::add(Counter::ArenaHit, 1);
             // Zeroing (not just clearing debug poison) is what upholds the
             // WorkspacePool bitwise contract: recycled buffers must be
-            // indistinguishable from Mat::zeros.
-            buf.fill(0.0);
+            // indistinguishable from Mat::zeros. The `arena.acquire` fault
+            // site skips exactly this scrub, leaking the previous tenant's
+            // data (NaN poison in debug) for the checker to catch. The
+            // fault only claims buffers that actually hold stale bits —
+            // skipping the scrub of an already-zero buffer would be
+            // undetectable because it violates nothing.
+            let skip = tg_check::enabled()
+                && buf.iter().any(|&x| x.to_bits() != 0)
+                && tg_check::fault::skip_zero("arena.acquire");
+            if !skip {
+                buf.fill(0.0);
+            }
+            tg_check::workspace_clean(&buf);
             Mat::from_col_major(rows, cols, buf)
         } else {
             self.stats.misses += 1;

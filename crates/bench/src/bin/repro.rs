@@ -6,7 +6,9 @@
 //! repro anchors             # paper-number vs model-number report
 //! repro ablation            # optimization ladder + (b, k) sensitivity
 //! repro tune                # model-based (b, k) autotuning per size/device
-//! repro verify [n]          # correctness gauntlet on the real kernels
+//! repro verify [n]          # correctness gauntlet + golden-corpus diff
+//! repro golden_regen        # recompute and write tests/golden/corpus.json
+//! repro fault_campaign      # fault-injection campaign (TG_FAULT_SEED)
 //! repro roofline            # arithmetic-intensity placement of key kernels
 //! repro whatif              # hardware-scaling what-if scenarios
 //! repro fig10               # L2 cache-simulation hit rates (layout study)
@@ -69,13 +71,15 @@ fn main() {
                 .unwrap_or(160);
             verify(n);
         }
+        "golden_regen" => golden_regen(),
+        "fault_campaign" => fault_campaign(),
         "fig10" => fig10(),
         "batch_scaling" => batch_scaling(),
         "model_vs_measured" => model_vs_measured(),
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|batch_scaling|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|verify [n]|golden_regen|fault_campaign|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -584,6 +588,171 @@ fn verify(n: usize) {
         std::process::exit(1);
     }
     println!("all {} checks passed", checks.len());
+    golden_verify();
+}
+
+/// Diffs a freshly computed corpus against the committed
+/// `tests/golden/corpus.json` (skipped with a notice when the file is
+/// absent, e.g. in a checkout that predates the corpus).
+fn golden_verify() {
+    use tg_bench::golden;
+    use tg_check::golden::GoldenCorpus;
+
+    let path = golden::default_corpus_path();
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!(
+            "golden corpus: {} not found, skipping (run `repro golden_regen`)",
+            path.display()
+        );
+        return;
+    };
+    let corpus = match GoldenCorpus::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("golden corpus: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fresh: Vec<_> = corpus
+        .entries
+        .iter()
+        .map(|e| golden::compute_entry(e.n, e.b, e.k, e.seed))
+        .collect();
+    let diffs = corpus.compare(&fresh);
+    if diffs.is_empty() {
+        println!(
+            "golden corpus: {} entries match {}",
+            corpus.entries.len(),
+            path.display()
+        );
+    } else {
+        for d in &diffs {
+            eprintln!("golden corpus: {d}");
+        }
+        eprintln!(
+            "golden corpus: {} mismatch(es) against {} — if the numerical \
+             change is intended, regenerate with `repro golden_regen`",
+            diffs.len(),
+            path.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn golden_regen() {
+    use tg_bench::golden;
+    let corpus = golden::compute_corpus();
+    let path = golden::default_corpus_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create tests/golden");
+    }
+    std::fs::write(&path, corpus.to_json()).expect("write corpus");
+    println!(
+        "wrote {} entries to {}",
+        corpus.entries.len(),
+        path.display()
+    );
+    for e in &corpus.entries {
+        println!(
+            "  n={:<4} b={:<3} k={:<4} seed={}  orth {:.2e}  sim {:.2e}  vs-sterf {:.2e}",
+            e.n, e.b, e.k, e.seed, e.orth_residual, e.sim_residual, e.spectrum_vs_sterf
+        );
+    }
+}
+
+/// One batched-EVD solve that crosses every instrumented fault site:
+/// DBBR (`stage1.band`, `blas.syr2k`), bulge chasing (`bc.tri`), the
+/// tridiagonal eigensolver (`evd.values`), the blocked back transformation
+/// (`backtransform.q`), and the single-worker arena (`arena.acquire`, which
+/// needs a cache hit, i.e. at least two same-shape problems on one worker).
+fn fault_workload() {
+    use tg_matrix::gen;
+    let n = 48;
+    let problems: Vec<_> = (0..3)
+        .map(|i| gen::random_symmetric(n, 1000 + i as u64))
+        .collect();
+    let method = tg_eigen::EvdMethod::Proposed {
+        b: 8,
+        k: 32,
+        parallel_sweeps: 3,
+        backtransform_k: 32,
+    };
+    let scheduler = tg_batch::BatchScheduler::new(1);
+    // Faulted runs may legitimately fail numerically (NaN/Inf propagate
+    // into the tridiagonal solver); the checkers have already recorded the
+    // violation by then, so the solver's error is not itself interesting.
+    let _ = scheduler.syevd(&problems, &method, true);
+}
+
+/// Fault-injection campaign: arms each fault of the seed-derived plan in
+/// its own strict check session and demands that (a) the fault fired and
+/// (b) at least one checker caught it; then runs a clean control session
+/// that must record zero failures. Exits nonzero on any undetected fault.
+fn fault_campaign() {
+    use tg_check::fault::FaultPlan;
+    use tg_check::{CheckConfig, CheckSession};
+
+    let seed = std::env::var("TG_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(101);
+    let plan = FaultPlan::campaign(seed);
+    println!(
+        "== fault-injection campaign (seed {seed}, {} sites) ==",
+        plan.faults.len()
+    );
+
+    let mut undetected = Vec::new();
+    for fault in &plan.faults {
+        let single = FaultPlan::single(fault.site, fault.kind, fault.index);
+        let session = CheckSession::begin(CheckConfig::strict().with_faults(single));
+        let panicked = std::panic::catch_unwind(fault_workload).is_err();
+        let report = session.finish();
+        let fired = !report.faults_fired.is_empty();
+        let caught = !report.passed();
+        println!(
+            "{:<18} {:?} idx {:<4} fired={} failures={}{}",
+            fault.site,
+            fault.kind,
+            fault.index,
+            fired,
+            report.failures().len(),
+            if panicked { " (workload panicked)" } else { "" }
+        );
+        for r in report.failures() {
+            println!(
+                "    {} = {:.3e} (> {:.0e}): {}",
+                r.checker, r.value, r.threshold, r.detail
+            );
+        }
+        if !fired || !caught {
+            undetected.push(fault.site);
+        }
+    }
+
+    let session = CheckSession::begin(CheckConfig::strict());
+    fault_workload();
+    let clean = session.finish();
+    println!(
+        "clean control: {} checks, {} failures, {} faults fired",
+        clean.records.len(),
+        clean.failures().len(),
+        clean.faults_fired.len()
+    );
+
+    let mut bad = false;
+    if !undetected.is_empty() {
+        eprintln!("UNDETECTED fault(s) at: {}", undetected.join(", "));
+        bad = true;
+    }
+    if !clean.passed() || !clean.faults_fired.is_empty() {
+        eprintln!("clean control run was not clean");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!("every injected fault was caught; clean run spotless");
 }
 
 fn fig10() {
@@ -653,6 +822,7 @@ fn model_vs_measured() {
     let shapes = [(64usize, 8usize, 16usize), (96, 12, 24), (128, 16, 32)];
     let mut rows = model_check::model_vs_measured(&shapes);
     rows.extend(model_check::check_batched_evd(48, 5));
+    rows.extend(model_check::check_checker_overhead(96));
     print!("{}", model_check::report(&rows));
     if rows.iter().any(|r| !r.within_tolerance()) {
         std::process::exit(1);

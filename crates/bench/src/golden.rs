@@ -1,0 +1,110 @@
+//! Golden regression corpus computation.
+//!
+//! The corpus *format*, grid, and comparison logic live in
+//! [`tg_check::golden`] (so the `check` crate stays free of pipeline
+//! dependencies); this module owns the *computation*: it runs the paper's
+//! proposed pipeline on every `(n, b, k, seed)` of
+//! [`tg_check::golden::GOLDEN_GRID`] and records the reference spectrum and
+//! residuals. `repro golden_regen` writes the result to
+//! `tests/golden/corpus.json`; `repro verify` and the tier-1
+//! `golden_corpus` test recompute and diff against that committed file.
+//! See `docs/VERIFICATION.md` for the regeneration policy.
+
+use tg_check::golden::{GoldenCorpus, GoldenEntry, GOLDEN_GRID};
+use tg_eigen::{sterf, syevd, EvdMethod};
+use tg_matrix::{gen, norms, Mat};
+use tridiag_core::{tridiagonalize, DbbrConfig, Method};
+
+/// Number of bulge-chasing sweeps used for every corpus entry. Fixed (not
+/// derived from `n`) so corpus entries stay comparable when the default
+/// heuristics move.
+const PARALLEL_SWEEPS: usize = 3;
+
+/// Runs the proposed pipeline on the matrix identified by `(n, b, k, seed)`
+/// and records its spectrum and LAPACK-convention residuals.
+pub fn compute_entry(n: usize, b: usize, k: usize, seed: u64) -> GoldenEntry {
+    let a = gen::random_symmetric(n, seed);
+
+    // Reduction only: gives the tridiagonal form whose `sterf` spectrum
+    // serves as the in-run oracle.
+    let red = tridiagonalize(
+        &mut a.clone(),
+        &Method::Dbbr {
+            cfg: DbbrConfig::new(b, k),
+            parallel_sweeps: PARALLEL_SWEEPS,
+        },
+    );
+    let oracle = sterf(&red.tri).expect("sterf on corpus tridiagonal");
+
+    // Full EVD with vectors: spectrum, orthogonality and similarity.
+    let method = EvdMethod::Proposed {
+        b,
+        k,
+        parallel_sweeps: PARALLEL_SWEEPS,
+        backtransform_k: k,
+    };
+    let evd = syevd(&mut a.clone(), &method, true).expect("syevd on corpus matrix");
+    let q = evd.eigenvectors.as_ref().expect("vectors requested");
+    let mut lambda = Mat::zeros(n, n);
+    for (i, &v) in evd.eigenvalues.iter().enumerate() {
+        lambda[(i, i)] = v;
+    }
+
+    GoldenEntry {
+        n,
+        b,
+        k,
+        seed,
+        spectrum: evd.eigenvalues.clone(),
+        orth_residual: norms::orthogonality_residual(q),
+        sim_residual: norms::similarity_residual(&a, q, &lambda),
+        spectrum_vs_sterf: norms::spectrum_error(&oracle, &evd.eigenvalues),
+    }
+}
+
+/// Computes the full corpus over [`GOLDEN_GRID`].
+pub fn compute_corpus() -> GoldenCorpus {
+    let mut corpus = GoldenCorpus::with_defaults();
+    corpus.entries = GOLDEN_GRID
+        .iter()
+        .map(|&(n, b, k, seed)| compute_entry(n, b, k, seed))
+        .collect();
+    corpus
+}
+
+/// Default on-disk location of the committed corpus
+/// (`tests/golden/corpus.json` at the workspace root).
+pub fn default_corpus_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/golden/corpus.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_entries_are_deterministic_and_tight() {
+        let (n, b, k, seed) = GOLDEN_GRID[0];
+        let e1 = compute_entry(n, b, k, seed);
+        let e2 = compute_entry(n, b, k, seed);
+        assert_eq!(
+            e1.spectrum, e2.spectrum,
+            "same input must be bitwise-stable"
+        );
+        assert_eq!(e1.orth_residual, e2.orth_residual);
+        assert!(e1.orth_residual < 1e-12, "{}", e1.orth_residual);
+        assert!(e1.sim_residual < 1e-12, "{}", e1.sim_residual);
+        assert!(e1.spectrum_vs_sterf < 1e-11, "{}", e1.spectrum_vs_sterf);
+    }
+
+    #[test]
+    fn corpus_round_trips_and_self_compares() {
+        let mut corpus = GoldenCorpus::with_defaults();
+        corpus.entries = vec![compute_entry(32, 4, 8, 9)];
+        let parsed = GoldenCorpus::from_json(&corpus.to_json()).unwrap();
+        let diffs = parsed.compare(&corpus.entries);
+        assert!(diffs.is_empty(), "{diffs:?}");
+    }
+}

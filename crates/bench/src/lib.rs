@@ -9,5 +9,6 @@
 //!   Rust kernels (syr2k variants, band reduction, bulge chasing, back
 //!   transformation, tridiagonalization, EVD).
 
+pub mod golden;
 pub mod measured;
 pub mod report;

@@ -67,6 +67,32 @@ pub fn syr2k_blocked(
         }
         j += w;
     }
+    inject_output_fault(c);
+}
+
+/// tg-check fault hook (site `blas.syr2k`): corrupts one lower-triangle
+/// element of the freshly computed update. The planned flat index is
+/// mapped into the packed lower triangle so the corruption always lands
+/// on an element the update actually owns (the upper triangle is
+/// untouched by contract). Inert without a live check session.
+fn inject_output_fault(c: &mut MatMut<'_>) {
+    let Some((index, kind)) = tg_check::fault::claim("blas.syr2k") else {
+        return;
+    };
+    let n = c.nrows();
+    if n == 0 {
+        return;
+    }
+    let tri = n * (n + 1) / 2;
+    let mut k = index % tri;
+    let mut j = 0;
+    while k >= n - j {
+        k -= n - j;
+        j += 1;
+    }
+    let i = j + k;
+    tg_check::fault::apply(kind, &mut c.rb_mut().col_mut(j)[i]);
+    tg_check::fault::record_fired("blas.syr2k", kind, j * n + i);
 }
 
 /// Figure-7 square-block scheme.

@@ -1,10 +1,10 @@
 //! `tridiag` — command-line symmetric eigensolver.
 //!
 //! ```text
-//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile]
-//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile]
-//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile]
-//! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile]
+//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--check]
+//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile] [--check]
+//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--check]
+//! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--check]
 //! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
 //! tridiag info     <in.mtx>
 //! ```
@@ -12,6 +12,12 @@
 //! `--trace <out.json>` records a Chrome trace-event file (load it in
 //! Perfetto / `chrome://tracing`); `--profile` prints a per-stage wall
 //! time / GFLOP/s table to stderr. See `docs/OBSERVABILITY.md`.
+//!
+//! `--check` runs the solve under a `tg-check` session: every stage
+//! boundary is verified against its LAPACK-convention invariant (band
+//! structure, tridiagonal form, orthogonality, similarity, spectrum) and
+//! the per-checker report is printed to stderr; any violation exits
+//! non-zero. See `docs/VERIFICATION.md`.
 //!
 //! Matrices are Matrix Market files (`coordinate real symmetric`,
 //! `coordinate real general`, or `array real general`).
@@ -24,10 +30,10 @@ use tridiag_core::{tridiagonalize, Method};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile]\n  \
-         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile]\n  \
-         tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile]\n  \
-         tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile]\n  \
+        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--check]\n  \
+         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile] [--check]\n  \
+         tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--check]\n  \
+         tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--check]\n  \
          tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
          tridiag info     <in.mtx>"
     );
@@ -42,28 +48,30 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 struct Opts {
     positional: Vec<String>,
     method: String,
-    n: usize,
-    count: usize,
+    n: Option<usize>,
+    count: Option<usize>,
     threads: usize,
     vectors: bool,
     kind: String,
     seed: u64,
     trace: Option<String>,
     profile: bool,
+    check: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         positional: Vec::new(),
         method: "proposed".into(),
-        n: 0,
-        count: 0,
+        n: None,
+        count: None,
         threads: 0,
         vectors: false,
         kind: "random".into(),
         seed: 42,
         trace: None,
         profile: false,
+        check: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -71,17 +79,20 @@ fn parse_opts(args: &[String]) -> Opts {
             "--method" => o.method = it.next().cloned().unwrap_or_else(|| usage()),
             "--trace" => o.trace = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--profile" => o.profile = true,
+            "--check" => o.check = true,
             "--n" => {
-                o.n = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                o.n = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--count" => {
-                o.count = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                o.count = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--threads" => {
                 o.threads = it
@@ -166,6 +177,27 @@ fn with_trace<T>(o: &Opts, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Runs `f` under a strict `tg-check` session when `--check` was given:
+/// every stage boundary the solve crosses is verified against its
+/// LAPACK-convention invariant, the per-checker report goes to stderr, and
+/// any violation turns into a non-zero exit.
+fn with_check<T>(o: &Opts, f: impl FnOnce() -> T) -> T {
+    if !o.check {
+        return f();
+    }
+    let session = tg_check::CheckSession::begin(tg_check::CheckConfig::strict());
+    let out = f();
+    let report = session.finish();
+    eprint!("{}", report.render());
+    if !report.passed() {
+        fail(format!(
+            "{} invariant check(s) failed",
+            report.failures().len()
+        ));
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -178,7 +210,9 @@ fn main() {
             let a = load_symmetric(input);
             let n = a.nrows();
             let evd = with_trace(&o, || {
-                syevd(&mut a.clone(), &evd_method(&o.method, n), false)
+                with_check(&o, || {
+                    syevd(&mut a.clone(), &evd_method(&o.method, n), false)
+                })
             })
             .unwrap_or_else(|e| fail(e));
             for v in &evd.eigenvalues {
@@ -192,7 +226,9 @@ fn main() {
             let a = load_symmetric(input);
             let n = a.nrows();
             let evd = with_trace(&o, || {
-                syevd(&mut a.clone(), &evd_method(&o.method, n), true)
+                with_check(&o, || {
+                    syevd(&mut a.clone(), &evd_method(&o.method, n), true)
+                })
             })
             .unwrap_or_else(|e| fail(e));
             let mut vals = Mat::zeros(n, 1);
@@ -215,7 +251,9 @@ fn main() {
             let a = load_symmetric(input);
             let n = a.nrows();
             let red = with_trace(&o, || {
-                tridiagonalize(&mut a.clone(), &tridiag_method(&o.method, n))
+                with_check(&o, || {
+                    tridiagonalize(&mut a.clone(), &tridiag_method(&o.method, n))
+                })
             });
             write_matrix_market(output, &red.tri.to_dense(), true).unwrap_or_else(|e| fail(e));
             eprintln!("wrote tridiagonal form ({n}x{n}) to {output}");
@@ -224,11 +262,17 @@ fn main() {
             if !o.positional.is_empty() {
                 usage()
             }
-            if o.count == 0 || o.n == 0 {
-                fail("batch requires --count and --n");
-            }
-            let n = o.n;
-            let problems: Vec<Mat> = (0..o.count)
+            let count = match o.count {
+                None => fail("batch requires --count"),
+                Some(0) => fail("--count must be at least 1"),
+                Some(c) => c,
+            };
+            let n = match o.n {
+                None => fail("batch requires --n"),
+                Some(0) => fail("--n must be at least 1"),
+                Some(n) => n,
+            };
+            let problems: Vec<Mat> = (0..count)
                 .map(|i| gen::random_symmetric(n, o.seed.wrapping_add(i as u64)))
                 .collect();
             let workers = if o.threads > 0 {
@@ -238,8 +282,10 @@ fn main() {
             };
             let scheduler = tg_batch::BatchScheduler::new(workers);
             let method = evd_method(&o.method, n);
-            let batch = with_trace(&o, || scheduler.syevd(&problems, &method, o.vectors))
-                .unwrap_or_else(|e| fail(e));
+            let batch = with_trace(&o, || {
+                with_check(&o, || scheduler.syevd(&problems, &method, o.vectors))
+            })
+            .unwrap_or_else(|e| fail(e));
             for (i, evd) in batch.results.iter().enumerate() {
                 let lo = evd.eigenvalues.first().copied().unwrap_or(f64::NAN);
                 let hi = evd.eigenvalues.last().copied().unwrap_or(f64::NAN);
@@ -261,21 +307,22 @@ fn main() {
             let [output] = o.positional.as_slice() else {
                 usage()
             };
-            if o.n == 0 {
-                fail("--n is required for generate");
-            }
+            let n = match o.n {
+                None | Some(0) => fail("--n is required for generate (and must be >= 1)"),
+                Some(n) => n,
+            };
             let m = if o.kind == "random" {
-                gen::random_symmetric(o.n, o.seed)
+                gen::random_symmetric(n, o.seed)
             } else if o.kind == "spd" {
-                gen::random_spd(o.n, o.seed)
+                gen::random_spd(n, o.seed)
             } else if let Some(b) = o.kind.strip_prefix("band:") {
                 let b: usize = b.parse().unwrap_or_else(|_| fail("bad band width"));
-                gen::random_symmetric_band(o.n, b, o.seed)
+                gen::random_symmetric_band(n, b, o.seed)
             } else {
                 fail(format!("unknown kind: {}", o.kind))
             };
             write_matrix_market(output, &m, true).unwrap_or_else(|e| fail(e));
-            eprintln!("wrote {} ({}x{})", output, o.n, o.n);
+            eprintln!("wrote {} ({}x{})", output, n, n);
         }
         "info" => {
             let [input] = o.positional.as_slice() else {

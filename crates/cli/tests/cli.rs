@@ -200,3 +200,92 @@ fn info_reports_shared_thread_helper() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("worker threads: 3 (TG_THREADS)"), "{text}");
 }
+
+#[test]
+fn batch_zero_count_and_zero_n_fail_cleanly() {
+    // --count 0 is a distinct, clean error (not a panic or empty output).
+    let out = bin()
+        .args(["batch", "--count", "0", "--n", "8"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--count must be at least 1"), "{stderr}");
+
+    // --n 0 likewise.
+    let out = bin()
+        .args(["batch", "--count", "2", "--n", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--n must be at least 1"), "{stderr}");
+
+    // Missing flags name the flag that is missing.
+    let out = bin().args(["batch", "--n", "8"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("batch requires --count"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin().args(["batch", "--count", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("batch requires --n"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn check_flag_prints_report_and_passes_on_clean_run() {
+    let f = tmp("chk.mtx");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "32", "--seed", "5"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["eigvals", f.to_str().unwrap(), "--check"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The strict session runs the deep checkers and reports each by name.
+    assert!(stderr.contains("orthogonality"), "{stderr}");
+    assert!(stderr.contains("spectrum"), "{stderr}");
+    assert!(!stderr.contains("FAIL"), "{stderr}");
+    // Eigenvalues still reach stdout untouched.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 32);
+}
+
+#[test]
+fn check_flag_composes_with_profile_counters() {
+    let f = tmp("chk_prof.mtx");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "24", "--seed", "7"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args([
+            "reduce",
+            f.to_str().unwrap(),
+            "/dev/null",
+            "--check",
+            "--profile",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Check counters land inside the enclosing trace session.
+    assert!(stderr.contains("checks_run"), "{stderr}");
+}

@@ -150,7 +150,10 @@ pub fn tridiagonalize_ws(
 ) -> TridiagResult {
     let n = a.nrows();
     assert_eq!(a.ncols(), n);
-    match method {
+    // The deep tg-check invariants (orthogonality, similarity) need the
+    // untouched input — the reduction destroys `a` in place.
+    let a0 = tg_check::deep_enabled().then(|| a.clone());
+    let mut result = match method {
         Method::Direct { nb } => {
             let res = sytrd_blocked(a, *nb);
             TridiagResult {
@@ -160,7 +163,9 @@ pub fn tridiagonalize_ws(
             }
         }
         Method::Sbr { b, parallel_sweeps } => {
-            let red = band_reduce(a, *b, 32);
+            let mut red = band_reduce(a, *b, 32);
+            tg_check::fault::inject_band("stage1.band", &mut red.band);
+            tg_check::stage_band(&red.band, *b);
             let bc = if *parallel_sweeps <= 1 {
                 bulge_chase_seq(&red.band)
             } else {
@@ -179,7 +184,9 @@ pub fn tridiagonalize_ws(
             cfg,
             parallel_sweeps,
         } => {
-            let red = dbbr_ws(a, cfg, pool);
+            let mut red = dbbr_ws(a, cfg, pool);
+            tg_check::fault::inject_band("stage1.band", &mut red.band);
+            tg_check::stage_band(&red.band, cfg.b);
             let bc = bulge_chase_pipelined(&red.band, (*parallel_sweeps).max(1));
             TridiagResult {
                 tri: bc.tri.clone(),
@@ -195,7 +202,9 @@ pub fn tridiagonalize_ws(
             workers,
             group,
         } => {
-            let red = dbbr_ws(a, cfg, pool);
+            let mut red = dbbr_ws(a, cfg, pool);
+            tg_check::fault::inject_band("stage1.band", &mut red.band);
+            tg_check::stage_band(&red.band, cfg.b);
             let bc = bulge_chase_grouped(&red.band, (*workers).max(1), (*group).max(1));
             TridiagResult {
                 tri: bc.tri.clone(),
@@ -206,7 +215,15 @@ pub fn tridiagonalize_ws(
                 },
             }
         }
+    };
+    tg_check::fault::inject("bc.tri", &mut result.tri.d);
+    tg_check::stage_tridiag(&result.tri);
+    if let Some(a0) = a0 {
+        let q = result.form_q();
+        tg_check::stage_orthogonality(&q);
+        tg_check::stage_similarity(&a0, &q, &result.tri.to_dense());
     }
+    result
 }
 
 #[cfg(test)]

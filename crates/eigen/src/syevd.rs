@@ -150,15 +150,20 @@ pub fn syevd_ws(
     };
     if !want_vectors {
         let _span = tg_trace::span("evd.solve");
+        let mut eigenvalues = sterf(&res.tri)?;
+        tg_check::fault::inject("evd.values", &mut eigenvalues);
+        check_spectrum(&eigenvalues, &res.tri);
         return Ok(Evd {
-            eigenvalues: sterf(&res.tri)?,
+            eigenvalues,
             eigenvectors: None,
         });
     }
-    let (eigenvalues, mut v) = {
+    let (mut eigenvalues, mut v) = {
         let _span = tg_trace::span("evd.solve");
         stedc(&res.tri)?
     };
+    tg_check::fault::inject("evd.values", &mut eigenvalues);
+    check_spectrum(&eigenvalues, &res.tri);
     // back transformation: V ← Q V
     {
         let _span = tg_trace::span("evd.backtransform");
@@ -169,10 +174,27 @@ pub fn syevd_ws(
             _ => res.apply_q(&mut v),
         }
     }
+    tg_check::fault::inject_mat("backtransform.q", &mut v);
+    if tg_check::deep_enabled() {
+        tg_check::stage_orthogonality(&v);
+    }
     Ok(Evd {
         eigenvalues,
         eigenvectors: Some(v),
     })
+}
+
+/// Spectrum invariant hook: compares the solver's eigenvalues against an
+/// independent QL/QR pass (`sterf`) over the same reduced tridiagonal —
+/// the oracle the checker treats as ground truth — plus the Gershgorin
+/// enclosure. The oracle solve only runs while a check session is live.
+fn check_spectrum(eigenvalues: &[f64], tri: &tg_matrix::Tridiagonal) {
+    if !tg_check::enabled() {
+        return;
+    }
+    if let Ok(oracle) = sterf(tri) {
+        tg_check::stage_spectrum(eigenvalues, &oracle, tri.gershgorin());
+    }
 }
 
 /// Computes the symmetric EVD of every matrix in `problems` with one call

@@ -33,6 +33,10 @@ pub struct ModelRow {
     pub measured: f64,
     /// Value predicted by the analytic formula.
     pub modeled: f64,
+    /// Tolerated relative disagreement for this row. Deterministic counter
+    /// comparisons use [`TOLERANCE`]; wall-clock rows (checker overhead)
+    /// carry a looser budget since they see scheduler noise.
+    pub tol: f64,
 }
 
 impl ModelRow {
@@ -49,9 +53,9 @@ impl ModelRow {
         }
     }
 
-    /// Whether the disagreement is within [`TOLERANCE`].
+    /// Whether the disagreement is within this row's `tol`.
     pub fn within_tolerance(&self) -> bool {
-        self.rel_err() <= TOLERANCE
+        self.rel_err() <= self.tol
     }
 }
 
@@ -79,6 +83,7 @@ pub fn check_syr2k(n: usize, k: usize) -> Vec<ModelRow> {
         quantity: "flops",
         measured: t.total(Counter::Flops) as f64,
         modeled,
+        tol: TOLERANCE,
     });
 
     let mut c = gen::random_symmetric(n, 13);
@@ -91,6 +96,7 @@ pub fn check_syr2k(n: usize, k: usize) -> Vec<ModelRow> {
         quantity: "flops",
         measured: t.total(Counter::Flops) as f64,
         modeled,
+        tol: TOLERANCE,
     });
     rows
 }
@@ -112,6 +118,7 @@ pub fn check_gemm(m: usize, n: usize, k: usize) -> Vec<ModelRow> {
             quantity: "flops",
             measured: t.total(Counter::Flops) as f64,
             modeled: 2.0 * m as f64 * n as f64 * k as f64,
+            tol: TOLERANCE,
         },
         ModelRow {
             kernel: "gemm",
@@ -119,6 +126,7 @@ pub fn check_gemm(m: usize, n: usize, k: usize) -> Vec<ModelRow> {
             quantity: "bytes",
             measured: bytes_measured as f64,
             modeled: 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64),
+            tol: TOLERANCE,
         },
     ]
 }
@@ -158,6 +166,7 @@ pub fn check_batched_evd(n: usize, count: usize) -> Vec<ModelRow> {
             quantity: "flops",
             measured: tb.total(Counter::Flops) as f64,
             modeled: count as f64 * single_flops,
+            tol: TOLERANCE,
         },
         ModelRow {
             kernel: "batched_evd",
@@ -165,6 +174,72 @@ pub fn check_batched_evd(n: usize, count: usize) -> Vec<ModelRow> {
             quantity: "arena_hits",
             measured: hits,
             modeled: crate::batch::predicted_hit_rate(count, 1) * (hits + misses),
+            tol: TOLERANCE,
+        },
+    ]
+}
+
+/// Tolerated wall-time ratio drift for the checker-overhead row: wall
+/// clocks see scheduler noise, so the budget is far looser than the
+/// counter comparisons (the EXPERIMENTS.md <2% overhead claim is measured
+/// across whole-process runs, not here).
+pub const CHECKER_OVERHEAD_TOL: f64 = 0.5;
+
+/// Measures what the `tg-check` hooks cost when **no session is live** —
+/// the zero-cost-when-disabled contract — on the paper's reduce pipeline:
+///
+/// * counted FLOPs of a reduction with a preceding (finished) check
+///   session vs. a plain reduction must be identical: hooks, armed or
+///   not, never change the arithmetic;
+/// * median wall time of the hooks-dormant reduction vs. plain must stay
+///   within [`CHECKER_OVERHEAD_TOL`] (the hooks are one relaxed atomic
+///   load each, so this row detects an accidentally always-on checker).
+pub fn check_checker_overhead(n: usize) -> Vec<ModelRow> {
+    use tridiag_core::{tridiagonalize, Method};
+    let method = Method::paper_default(n);
+    let a = gen::random_symmetric(n, 51);
+
+    let timed_flops = || -> (f64, f64) {
+        let mut samples = [0.0f64; 3];
+        let mut flops = 0u64;
+        for s in samples.iter_mut() {
+            let mut work = a.clone();
+            let session = TraceSession::begin();
+            let t0 = std::time::Instant::now();
+            let _ = tridiagonalize(&mut work, &method);
+            *s = t0.elapsed().as_secs_f64();
+            flops = session.finish().total(Counter::Flops);
+        }
+        samples.sort_by(f64::total_cmp);
+        (samples[1], flops as f64)
+    };
+
+    // plain run: no check session has ever been armed in this comparison
+    let (t_plain, flops_plain) = timed_flops();
+    // dormant run: open and immediately finish a session so the hook path
+    // has seen an armed-then-disarmed lifecycle, then reduce with checks off
+    {
+        let session = tg_check::CheckSession::begin(tg_check::CheckConfig::fast());
+        let _ = session.finish();
+    }
+    let (t_dormant, flops_dormant) = timed_flops();
+
+    vec![
+        ModelRow {
+            kernel: "check_hooks",
+            shape: (n, 0, 0),
+            quantity: "flops",
+            measured: flops_dormant,
+            modeled: flops_plain,
+            tol: 0.0,
+        },
+        ModelRow {
+            kernel: "check_hooks",
+            shape: (n, 0, 0),
+            quantity: "wall_ratio",
+            measured: t_dormant / t_plain.max(f64::MIN_POSITIVE),
+            modeled: 1.0,
+            tol: CHECKER_OVERHEAD_TOL,
         },
     ]
 }
@@ -195,7 +270,7 @@ pub fn report(rows: &[ModelRow]) -> String {
             ""
         } else {
             bad += 1;
-            "  <-- >1% MISMATCH"
+            "  <-- MISMATCH"
         };
         out.push_str(&format!(
             "{:<14} {:>16} {:>8} {:>16.0} {:>16.0} {:>8.3}{}\n",
@@ -209,16 +284,11 @@ pub fn report(rows: &[ModelRow]) -> String {
         ));
     }
     if bad == 0 {
-        out.push_str(&format!(
-            "all {} rows agree within {:.0}%\n",
-            rows.len(),
-            TOLERANCE * 100.0
-        ));
+        out.push_str(&format!("all {} rows agree within tolerance\n", rows.len()));
     } else {
         out.push_str(&format!(
-            "{bad} of {} rows exceed {:.0}% disagreement\n",
-            rows.len(),
-            TOLERANCE * 100.0
+            "{bad} of {} rows exceed their tolerance\n",
+            rows.len()
         ));
     }
     out
@@ -265,6 +335,22 @@ mod tests {
     }
 
     #[test]
+    fn checker_overhead_flops_identical_when_dormant() {
+        let rows = check_checker_overhead(64);
+        assert_eq!(rows.len(), 2);
+        let flops = &rows[0];
+        assert_eq!(flops.quantity, "flops");
+        assert_eq!(
+            flops.measured, flops.modeled,
+            "dormant check hooks changed the arithmetic"
+        );
+        assert!(flops.within_tolerance());
+        let wall = &rows[1];
+        assert_eq!(wall.quantity, "wall_ratio");
+        assert!(wall.measured.is_finite() && wall.measured > 0.0);
+    }
+
+    #[test]
     fn report_flags_mismatch() {
         let rows = vec![
             ModelRow {
@@ -273,6 +359,7 @@ mod tests {
                 quantity: "flops",
                 measured: 1024.0,
                 modeled: 1024.0,
+                tol: TOLERANCE,
             },
             ModelRow {
                 kernel: "gemm",
@@ -280,6 +367,7 @@ mod tests {
                 quantity: "bytes",
                 measured: 1050.0,
                 modeled: 1000.0,
+                tol: TOLERANCE,
             },
         ];
         let text = report(&rows);

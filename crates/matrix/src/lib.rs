@@ -29,6 +29,7 @@ pub use band::{BandLayout, SymBand};
 pub use dense::{Mat, MatMut, MatRef};
 pub use norms::{
     frob_norm, max_abs_diff, orthogonality_residual, similarity_residual, sym_residual,
+    try_similarity_residual, ShapeError,
 };
 pub use tridiagonal::Tridiagonal;
 

@@ -9,6 +9,29 @@
 
 use crate::dense::{Mat, MatRef};
 
+/// Shape mismatch reported by the fallible residual entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Which argument was mis-shaped (`"a"`, `"q"`, `"b"`).
+    pub arg: &'static str,
+    /// The offending `(nrows, ncols)`.
+    pub got: (usize, usize),
+    /// The `(nrows, ncols)` that was required.
+    pub expected: (usize, usize),
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "argument `{}` has shape {}x{}, expected {}x{}",
+            self.arg, self.got.0, self.got.1, self.expected.0, self.expected.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 /// Frobenius norm of a dense matrix.
 pub fn frob_norm(a: &Mat) -> f64 {
     a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
@@ -61,14 +84,27 @@ pub fn orthogonality_residual(q: &Mat) -> f64 {
 
 /// `‖A − Q B Qᵀ‖_F / ‖A‖_F`: how well `Q B Qᵀ` reconstructs `A`.
 ///
-/// `O(n³)` dense computation; test-scale only.
+/// `O(n³)` dense computation; test-scale only. Panics on mis-shaped
+/// arguments; use [`try_similarity_residual`] for an error instead.
 pub fn similarity_residual(a: &Mat, q: &Mat, b: &Mat) -> f64 {
+    try_similarity_residual(a, q, b).unwrap_or_else(|e| panic!("similarity_residual: {e}"))
+}
+
+/// Fallible variant of [`similarity_residual`]: returns a [`ShapeError`]
+/// when `a` is non-square or `q`/`b` do not match its order, instead of
+/// panicking. Runtime checkers use this so a mis-wired hook reports a
+/// failed check rather than aborting the pipeline.
+pub fn try_similarity_residual(a: &Mat, q: &Mat, b: &Mat) -> Result<f64, ShapeError> {
     let n = a.nrows();
-    assert_eq!(a.ncols(), n);
-    assert_eq!(q.nrows(), n);
-    assert_eq!(q.ncols(), n);
-    assert_eq!(b.nrows(), n);
-    assert_eq!(b.ncols(), n);
+    for (arg, m) in [("a", a), ("q", q), ("b", b)] {
+        if (m.nrows(), m.ncols()) != (n, n) {
+            return Err(ShapeError {
+                arg,
+                got: (m.nrows(), m.ncols()),
+                expected: (n, n),
+            });
+        }
+    }
     // R = Q B
     let mut r = Mat::zeros(n, n);
     for j in 0..n {
@@ -95,7 +131,7 @@ pub fn similarity_residual(a: &Mat, q: &Mat, b: &Mat) -> f64 {
             err += d * d;
         }
     }
-    err.sqrt() / frob_norm(a).max(f64::MIN_POSITIVE)
+    Ok(err.sqrt() / frob_norm(a).max(f64::MIN_POSITIVE))
 }
 
 /// `‖A − Aᵀ‖_F / ‖A‖_F`: symmetry defect.
@@ -209,5 +245,71 @@ mod tests {
         let a = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let b = Mat::from_rows(2, 2, &[1.0, 2.5, 3.0, 4.0]);
         assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn residuals_on_one_by_one() {
+        // n = 1: Q = [1] trivially orthogonal, A = QAQᵀ exactly.
+        let a = Mat::from_rows(1, 1, &[3.5]);
+        let q = Mat::identity(1);
+        assert_eq!(orthogonality_residual(&q), 0.0);
+        assert_eq!(similarity_residual(&a, &q, &a), 0.0);
+        assert_eq!(spectrum_error(&[3.5], &[3.5]), 0.0);
+    }
+
+    #[test]
+    fn residuals_on_two_by_two_rotation() {
+        // n = 2 with a genuine rotation: the smallest case where the
+        // off-diagonal terms of QᵀQ − I and A − QBQᵀ are exercised.
+        let (c, s) = (0.6, 0.8);
+        let q = Mat::from_rows(2, 2, &[c, -s, s, c]);
+        assert!(orthogonality_residual(&q) < 1e-15);
+        // B = Qᵀ A Q for a diagonal A; similarity must close the loop.
+        let a = Mat::from_rows(2, 2, &[2.0, 0.0, 0.0, -1.0]);
+        let mut b = Mat::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = 0.0;
+                for p in 0..2 {
+                    acc += q[(p, i)] * a[(p, p)] * q[(p, j)];
+                }
+                b[(i, j)] = acc;
+            }
+        }
+        assert!(similarity_residual(&a, &q, &b) < 1e-15);
+    }
+
+    #[test]
+    fn residuals_on_all_zero_matrix_are_finite() {
+        // ‖A‖ = 0 must not divide by zero: the guards clamp the
+        // denominator, so the residual is 0 (exact) rather than NaN.
+        let z = Mat::zeros(4, 4);
+        let q = Mat::identity(4);
+        let r = similarity_residual(&z, &q, &z);
+        assert!(r.is_finite() && r == 0.0, "{r}");
+        let r = sym_residual(&z);
+        assert!(r.is_finite() && r == 0.0, "{r}");
+        // All-zero Q is maximally non-orthogonal but still finite.
+        assert!((orthogonality_residual(&Mat::zeros(4, 4)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn try_similarity_residual_rejects_non_square_shapes() {
+        let a = Mat::zeros(4, 4);
+        let q_bad = Mat::zeros(4, 3);
+        let b = Mat::zeros(4, 4);
+        let err = try_similarity_residual(&a, &q_bad, &b).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('q') && msg.contains("4x3"), "{msg}");
+
+        let b_bad = Mat::zeros(3, 3);
+        assert!(try_similarity_residual(&a, &Mat::identity(4), &b_bad).is_err());
+        assert!(try_similarity_residual(&a, &Mat::identity(4), &b).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity_residual")]
+    fn similarity_residual_panics_with_context_on_misuse() {
+        let _ = similarity_residual(&Mat::zeros(3, 3), &Mat::zeros(3, 2), &Mat::zeros(3, 3));
     }
 }

@@ -110,6 +110,9 @@ impl Trace {
             Counter::BulgeTasks,
             Counter::ArenaHit,
             Counter::ArenaMiss,
+            Counter::ChecksRun,
+            Counter::CheckFailures,
+            Counter::FaultsInjected,
         ] {
             let v = self.total(c);
             if v != 0 {
@@ -208,7 +211,7 @@ mod tests {
                     tid: 0,
                     ts_us: 0.0,
                     dur_us: 900.0,
-                    counters: [350_000, 16_384, 8_192, 0, 0, 0, 0],
+                    counters: [350_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0],
                     virtual_time: false,
                 },
                 Event {
@@ -218,7 +221,7 @@ mod tests {
                     tid: 0,
                     ts_us: 900.0,
                     dur_us: 100.0,
-                    counters: [50_000, 0, 0, 0, 0, 0, 0],
+                    counters: [50_000, 0, 0, 0, 0, 0, 0, 0, 0, 0],
                     virtual_time: false,
                 },
                 Event {
@@ -232,7 +235,7 @@ mod tests {
                     virtual_time: true,
                 },
             ],
-            totals: [400_000, 16_384, 8_192, 0, 0, 0, 0],
+            totals: [400_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0],
             wall: std::time::Duration::from_micros(1000),
         }
     }

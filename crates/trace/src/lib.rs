@@ -55,10 +55,16 @@ pub enum Counter {
     ArenaHit,
     /// Workspace-arena buffer requests that had to allocate.
     ArenaMiss,
+    /// Stage-invariant checks executed (`tg-check`).
+    ChecksRun,
+    /// Stage-invariant checks that found a violation (`tg-check`).
+    CheckFailures,
+    /// Faults injected by an armed `tg-check` fault plan.
+    FaultsInjected,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 7;
+pub const N_COUNTERS: usize = 10;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -69,6 +75,9 @@ impl Counter {
         Counter::BulgeTasks,
         Counter::ArenaHit,
         Counter::ArenaMiss,
+        Counter::ChecksRun,
+        Counter::CheckFailures,
+        Counter::FaultsInjected,
     ];
 
     fn index(self) -> usize {
@@ -80,6 +89,9 @@ impl Counter {
             Counter::BulgeTasks => 4,
             Counter::ArenaHit => 5,
             Counter::ArenaMiss => 6,
+            Counter::ChecksRun => 7,
+            Counter::CheckFailures => 8,
+            Counter::FaultsInjected => 9,
         }
     }
 
@@ -93,6 +105,9 @@ impl Counter {
             Counter::BulgeTasks => "bulge_tasks",
             Counter::ArenaHit => "arena_hits",
             Counter::ArenaMiss => "arena_misses",
+            Counter::ChecksRun => "checks_run",
+            Counter::CheckFailures => "check_failures",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }
@@ -139,15 +154,9 @@ impl Trace {
 // ---- global state ----
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static TOTALS: [AtomicU64; N_COUNTERS] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static TOTALS: [AtomicU64; N_COUNTERS] = [ZERO; N_COUNTERS];
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 struct CollectorState {

@@ -1,0 +1,54 @@
+//! Tier-1 golden regression gate: recomputes every entry of the committed
+//! corpus (`tests/golden/corpus.json`) with the proposed pipeline and
+//! diffs spectra and residuals against the stored baselines.
+//!
+//! A mismatch means the pipeline's numerics moved. If the change is
+//! intended, regenerate with `cargo run -p tg-bench --bin repro --
+//! golden_regen` and commit the new corpus alongside the change that
+//! caused it (see `docs/VERIFICATION.md`).
+
+use tg_bench::golden;
+use tg_check::golden::GoldenCorpus;
+
+fn load_corpus() -> GoldenCorpus {
+    let path = golden::default_corpus_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} unreadable ({e}); run `repro golden_regen`",
+            path.display()
+        )
+    });
+    GoldenCorpus::from_json(&text).expect("corpus parses")
+}
+
+#[test]
+fn committed_corpus_covers_the_fixed_grid() {
+    let corpus = load_corpus();
+    assert_eq!(corpus.entries.len(), tg_check::golden::GOLDEN_GRID.len());
+    for &(n, b, k, seed) in &tg_check::golden::GOLDEN_GRID {
+        assert!(
+            corpus
+                .entries
+                .iter()
+                .any(|e| (e.n, e.b, e.k, e.seed) == (n, b, k, seed)),
+            "corpus is missing grid entry (n={n}, b={b}, k={k}, seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn recomputed_entries_match_committed_baselines() {
+    let corpus = load_corpus();
+    let fresh: Vec<_> = corpus
+        .entries
+        .iter()
+        .map(|e| golden::compute_entry(e.n, e.b, e.k, e.seed))
+        .collect();
+    let diffs = corpus.compare(&fresh);
+    assert!(
+        diffs.is_empty(),
+        "golden corpus mismatch (regenerate with `repro golden_regen` if \
+         the numerical change is intended):\n{}",
+        diffs.join("\n")
+    );
+}
