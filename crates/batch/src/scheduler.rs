@@ -134,6 +134,12 @@ impl BatchScheduler {
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| {
+                    // With several workers the parallelism budget is spent
+                    // across problems: mark the region so the BLAS kernels
+                    // inside each problem stay serial (bitwise-identical
+                    // either way) instead of nesting a second fan-out. A
+                    // single worker keeps intra-kernel parallelism.
+                    let _region = (workers > 1).then(tg_blas::threads::enter_parallel_region);
                     let mut arena = WorkspaceArena::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

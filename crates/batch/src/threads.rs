@@ -1,41 +1,13 @@
-//! The workspace's single source of truth for worker-thread counts.
+//! Worker-thread count convention — re-exported from [`tg_blas::threads`].
 //!
-//! Everything that sizes a worker pool or *reports* a thread count — the
-//! [`crate::BatchScheduler`] default, `tridiag info`/`tridiag batch`, the
-//! benches — goes through [`worker_threads`] instead of reading
-//! `rayon::current_num_threads` (or `available_parallelism`) ad hoc, so a
-//! single `TG_THREADS` override steers every component consistently.
+//! The helper was born here in the batching PR, but the BLAS parallel
+//! dispatch now needs it too and `tg-batch` already depends on `tg-blas`
+//! (through `tridiag-core`), so the single source of truth moved down the
+//! dependency graph. Existing `tg_batch::worker_threads()` callers keep
+//! working unchanged; see `docs/BATCHING.md` for how `TG_THREADS` interacts
+//! with rayon's pool.
 
-/// Number of worker threads to use by default.
-///
-/// Resolution order:
-/// 1. the `TG_THREADS` environment variable, if set to a positive integer;
-/// 2. the runtime's thread count (`rayon::current_num_threads`, which the
-///    offline shim backs with `available_parallelism`).
-pub fn worker_threads() -> usize {
-    std::env::var("TG_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(rayon::current_num_threads)
-}
-
-/// One-line human-readable description for CLI/bench headers, e.g.
-/// `"4 (TG_THREADS)"` or `"8 (auto)"`.
-pub fn describe() -> String {
-    let n = worker_threads();
-    let source = if std::env::var("TG_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .is_some()
-    {
-        "TG_THREADS"
-    } else {
-        "auto"
-    };
-    format!("{n} ({source})")
-}
+pub use tg_blas::threads::{describe, worker_threads};
 
 #[cfg(test)]
 mod tests {

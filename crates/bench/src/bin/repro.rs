@@ -13,6 +13,7 @@
 //! repro whatif              # hardware-scaling what-if scenarios
 //! repro fig10               # L2 cache-simulation hit rates (layout study)
 //! repro measured [n]        # CPU-scale measured shape checks (real kernels)
+//! repro gemm_sweep [--ci]   # GEMM dispatch-path throughput sweep -> BENCH_PR4.json
 //! repro batch_scaling       # batched EVD: modeled GPU scaling + measured CPU-scale run
 //! repro model_vs_measured   # traced-counter vs analytic-formula cross-check
 //! repro json                # machine-readable dump of all model figures
@@ -59,6 +60,7 @@ fn main() {
                 .unwrap_or(192);
             measured_suite(n);
         }
+        "gemm_sweep" => gemm_sweep(args.iter().any(|a| a == "--ci")),
         "anchors" => anchors(),
         "ablation" => ablation(),
         "tune" => tune(),
@@ -79,7 +81,7 @@ fn main() {
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|verify [n]|golden_regen|fault_campaign|batch_scaling|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci]|verify [n]|golden_regen|fault_campaign|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -389,6 +391,94 @@ fn measured_suite(n: usize) {
             &measured::to_rows(&ms)
         )
     );
+}
+
+/// GEMM dispatch-path throughput sweep. The full grid writes the
+/// committed `BENCH_PR4.json` artifact (GEMM rows plus a syr2k grid); the
+/// `--ci` reduced grid skips the artifact and instead enforces a *sanity
+/// floor*: packed-parallel must stay within 0.7x of packed-serial
+/// throughput. On a one-core runner the two run the same arithmetic, so
+/// the floor catches a broken parallel driver (lock convoy, per-call
+/// respawn storm) without pinning a flaky absolute GFLOP/s number.
+fn gemm_sweep(ci: bool) {
+    let threads = tg_blas::worker_threads();
+    let sizes: &[usize] = if ci {
+        &[256, 512, 1024]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
+    println!(
+        "== gemm sweep ({threads} worker threads, {} grid) ==\n",
+        if ci { "reduced CI" } else { "full" }
+    );
+    let ms = measured::gemm_sweep(sizes, threads);
+    println!(
+        "{}",
+        render_table(
+            "measured: square GEMM through the dispatch paths",
+            &["kernel", "n", "time", "GFLOP/s"],
+            &measured::to_rows(&ms)
+        )
+    );
+
+    let syr2k_n = if ci { 512 } else { 1024 };
+    let sy = measured::syr2k_sweep(syr2k_n, &[32, 128, 512]);
+    println!(
+        "{}",
+        render_table(
+            &format!("measured: syr2k rank sweep (n = {syr2k_n})"),
+            &["kernel", "k", "time", "GFLOP/s"],
+            &measured::to_rows(&sy)
+        )
+    );
+
+    if ci {
+        for &n in sizes {
+            let serial = ms
+                .iter()
+                .find(|m| m.param == n && m.label == "packed-serial")
+                .expect("packed-serial row");
+            let par = ms
+                .iter()
+                .find(|m| m.param == n && m.label.starts_with("packed-parallel"))
+                .expect("packed-parallel row");
+            if par.gflops < 0.7 * serial.gflops {
+                eprintln!(
+                    "gemm_sweep: packed-parallel fell below the sanity floor at n = {n}: \
+                     {:.2} GFLOP/s vs {:.2} GFLOP/s serial",
+                    par.gflops, serial.gflops
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("sanity floor passed: packed-parallel >= 0.7x packed-serial at every size");
+        return;
+    }
+
+    let row = |m: &tg_bench::measured::Measurement| {
+        serde_json::json!({
+            "kernel": m.label,
+            "param": m.param,
+            "seconds": m.seconds,
+            "gflops": m.gflops,
+        })
+    };
+    let out = serde_json::json!({
+        "host_threads": threads,
+        "note": "single run on the dev/CI host (2mnk flop convention); \
+                 see EXPERIMENTS.md for the reading",
+        "gemm": ms.iter().map(row).collect::<Vec<_>>(),
+        "syr2k": serde_json::json!({
+            "n": syr2k_n,
+            "rows": sy.iter().map(row).collect::<Vec<_>>(),
+        }),
+    });
+    std::fs::write(
+        "BENCH_PR4.json",
+        serde_json::to_string_pretty(&out).unwrap() + "\n",
+    )
+    .expect("write BENCH_PR4.json");
+    println!("wrote BENCH_PR4.json");
 }
 
 fn anchors() {

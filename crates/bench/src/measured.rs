@@ -60,6 +60,95 @@ pub fn syr2k_sweep(n: usize, ks: &[usize]) -> Vec<Measurement> {
     out
 }
 
+/// Measured square `n×n×n` GEMM through the three dispatch paths: the
+/// naive column-axpy kernel (what every sub-threshold shape gets), the
+/// packed Goto/BLIS kernel pinned to one thread, and the packed kernel
+/// under the parallel driver with `threads` workers.
+///
+/// Also re-asserts the determinism contract on every size: the parallel
+/// result must be **bitwise** identical to the serial one, because the
+/// driver partitions over `ic`/`jc` strips only and never splits the
+/// `pc` (k) accumulation (see `docs/PERFORMANCE.md`).
+pub fn gemm_sweep(sizes: &[usize], threads: usize) -> Vec<Measurement> {
+    use tg_blas::{gemm_axpy, gemm_packed_with_threads, Op};
+    let mut out = Vec::new();
+    for &n in sizes {
+        let a = gen::random(n, n, 21);
+        let b = gen::random(n, n, 22);
+        let c0 = gen::random(n, n, 23);
+        let flops = tg_blas::flops::gemm(n, n, n) as f64;
+
+        let mut c = c0.clone();
+        let t = time_it(|| {
+            gemm_axpy(
+                1.0,
+                &a.as_ref(),
+                Op::NoTrans,
+                &b.as_ref(),
+                Op::NoTrans,
+                0.0,
+                &mut c.as_mut(),
+            )
+        });
+        out.push(Measurement {
+            label: "naive".into(),
+            param: n,
+            seconds: t,
+            gflops: flops / t / 1e9,
+        });
+
+        let mut c_serial = c0.clone();
+        let t = time_it(|| {
+            gemm_packed_with_threads(
+                1.0,
+                &a.as_ref(),
+                Op::NoTrans,
+                &b.as_ref(),
+                Op::NoTrans,
+                0.0,
+                &mut c_serial.as_mut(),
+                1,
+            )
+        });
+        out.push(Measurement {
+            label: "packed-serial".into(),
+            param: n,
+            seconds: t,
+            gflops: flops / t / 1e9,
+        });
+
+        let mut c_par = c0.clone();
+        let t = time_it(|| {
+            gemm_packed_with_threads(
+                1.0,
+                &a.as_ref(),
+                Op::NoTrans,
+                &b.as_ref(),
+                Op::NoTrans,
+                0.0,
+                &mut c_par.as_mut(),
+                threads,
+            )
+        });
+        out.push(Measurement {
+            label: format!("packed-parallel(t={threads})"),
+            param: n,
+            seconds: t,
+            gflops: flops / t / 1e9,
+        });
+
+        for j in 0..n {
+            for i in 0..n {
+                assert!(
+                    c_serial[(i, j)].to_bits() == c_par[(i, j)].to_bits(),
+                    "parallel packed GEMM diverged from serial at ({i},{j}), n={n}"
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Measured band reduction: MAGMA-style SBR vs DBBR at equal bandwidth.
 pub fn band_reduction_compare(n: usize, b: usize, k: usize) -> Vec<Measurement> {
     let a0 = gen::random_symmetric(n, 7);
@@ -384,6 +473,15 @@ mod tests {
     fn syr2k_sweep_runs() {
         let ms = syr2k_sweep(96, &[4, 16]);
         assert_eq!(ms.len(), 4);
+        assert!(ms.iter().all(|m| m.seconds > 0.0 && m.gflops > 0.0));
+    }
+
+    #[test]
+    fn gemm_sweep_runs_and_holds_bitwise_contract() {
+        // The bitwise serial-vs-parallel assert lives inside gemm_sweep;
+        // n = 160 spans several MC-row strips so the driver really splits.
+        let ms = gemm_sweep(&[160], 4);
+        assert_eq!(ms.len(), 3);
         assert!(ms.iter().all(|m| m.seconds > 0.0 && m.gflops > 0.0));
     }
 

@@ -20,13 +20,21 @@ pub struct GemmJob<'a> {
 }
 
 /// Executes every job in the batch, in parallel when the batch is non-trivial.
+///
+/// Jobs run inside a parallel region (see [`crate::threads`]), so the GEMM
+/// inside each job stays serial — the parallelism budget is spent across
+/// the batch, not inside one member. A single-job "batch" runs inline and
+/// keeps the full intra-GEMM fan-out.
 pub fn gemm_batched(jobs: Vec<GemmJob<'_>>) {
     if jobs.len() <= 1 {
         for j in jobs {
             run(j);
         }
     } else {
-        jobs.into_par_iter().for_each(run);
+        jobs.into_par_iter().for_each(|j| {
+            let _g = crate::threads::enter_parallel_region();
+            run(j);
+        });
     }
 }
 
@@ -65,6 +73,7 @@ pub fn gemm_batched_uniform(
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), c.len());
     c.par_iter_mut().enumerate().for_each(|(i, ci)| {
+        let _g = crate::threads::enter_parallel_region();
         gemm(
             alpha,
             &a[i].as_ref(),

@@ -1,10 +1,14 @@
 //! BLAS level-3: general matrix-matrix multiply.
 #![allow(clippy::needless_range_loop)] // index loops mirror the blocked-GEMM formulation
 //!
-//! The GEMM here is a cache-blocked, column-oriented kernel. Per the Rust
-//! Performance Book guidance the hot loops run over contiguous column
-//! slices so bounds checks vanish; `rayon` parallelizes over blocks of
-//! output columns above a size threshold.
+//! [`gemm`] has a single dispatch at every thread count (see
+//! `docs/PERFORMANCE.md` for the decision tree): compute-bound shapes go to
+//! the packed register-blocked kernel in [`crate::pack`], which handles its
+//! own `ic`-strip parallelism; only degenerate/skinny shapes fall back to
+//! the column-oriented axpy kernel here, whose hot loops run over
+//! contiguous column slices so bounds checks vanish (Rust Performance Book
+//! guidance), with a rayon fan-out over output-column blocks above a size
+//! threshold.
 
 use rayon::prelude::*;
 use tg_matrix::{Mat, MatMut, MatRef};
@@ -90,37 +94,62 @@ pub fn gemm(
         return;
     }
 
-    // Large compute-bound problems go to the packed register-blocked
-    // kernel (~1.5–2× faster serially); the column kernel keeps the rayon
-    // fan-out for wide multi-threaded problems.
+    count_gemm(m, n, k);
+
+    // Compute-bound shapes go to the packed register-blocked kernel, which
+    // parallelizes internally over ic strips; the thresholds keep tiny and
+    // degenerate/skinny problems (where packing traffic would dominate) on
+    // the column kernel. Trans×Trans always packs: pack_a/pack_b transpose
+    // during the copy, so no op(A) materialization is needed.
     let work = m * n * k;
-    if work >= 32 * 32 * 32
-        && m.min(n).min(k) >= 8
-        && (rayon::current_num_threads() <= 1 || m * n < PAR_THRESHOLD)
-    {
-        count_gemm(m, n, k);
+    if (work >= 32 * 32 * 32 && m.min(n).min(k) >= 8) || (op_a == Op::Trans && op_b == Op::Trans) {
         return crate::pack::gemm_packed(alpha, a, op_a, b, op_b, 1.0, c);
     }
 
-    // TT is rare in this workspace; reduce it to NT by materializing op(A).
-    // (No counting here: the recursive call accounts for this multiply.)
-    if op_a == Op::Trans && op_b == Op::Trans {
-        let at = transpose_to_mat(a);
-        return gemm(alpha, &at.as_ref(), Op::NoTrans, b, Op::Trans, 1.0, c);
-    }
-    count_gemm(m, n, k);
-
     let elems = m * n;
-    if elems >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+    if elems >= PAR_THRESHOLD && crate::threads::gemm_threads() > 1 {
         // Split C into disjoint column blocks and process them in parallel.
         let blocks = par_col_blocks(c, JB);
         blocks.into_par_iter().for_each(|(j0, mut cb)| {
+            let _g = crate::threads::enter_parallel_region();
             gemm_block(alpha, a, op_a, b, op_b, j0, &mut cb);
         });
     } else {
         let j0 = 0;
         gemm_block(alpha, a, op_a, b, op_b, j0, c);
     }
+}
+
+/// The serial column-oriented axpy kernel, without trace counting: the
+/// naive baseline `repro gemm_sweep` measures the packed kernel against.
+/// Supports the three op combinations the column kernel implements
+/// natively (everything except `Trans × Trans`).
+pub fn gemm_axpy(
+    alpha: f64,
+    a: &MatRef<'_>,
+    op_a: Op,
+    b: &MatRef<'_>,
+    op_b: Op,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = op_a.rows(a);
+    let k = op_a.cols(a);
+    let n = op_b.cols(b);
+    assert_eq!(op_b.rows(b), k, "inner dimensions disagree");
+    assert_eq!(c.nrows(), m, "C row count");
+    assert_eq!(c.ncols(), n, "C column count");
+    if beta != 1.0 {
+        for j in 0..n {
+            for x in c.col_mut(j) {
+                *x *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    gemm_block(alpha, a, op_a, b, op_b, 0, c);
 }
 
 /// Splits a mutable view into `(start_col, block)` pairs of width ≤ `jb`.
@@ -198,7 +227,7 @@ fn gemm_block(
                 }
             }
         }
-        (Op::Trans, Op::Trans) => unreachable!("TT reduced to NT in gemm()"),
+        (Op::Trans, Op::Trans) => unreachable!("TT dispatches to the packed kernel in gemm()"),
     }
 }
 
@@ -209,17 +238,6 @@ pub fn gemm_into(alpha: f64, a: &MatRef<'_>, op_a: Op, b: &MatRef<'_>, op_b: Op)
     let mut c = Mat::zeros(m, n);
     gemm(alpha, a, op_a, b, op_b, 0.0, &mut c.as_mut());
     c
-}
-
-fn transpose_to_mat(a: &MatRef<'_>) -> Mat {
-    let mut t = Mat::zeros(a.ncols(), a.nrows());
-    for j in 0..a.ncols() {
-        let col = a.col(j);
-        for i in 0..a.nrows() {
-            t[(j, i)] = col[i];
-        }
-    }
-    t
 }
 
 /// Reference triple-loop symmetric rank-2k update on the lower triangle:

@@ -20,11 +20,13 @@ pub mod level2;
 pub mod level3;
 pub mod pack;
 pub mod syr2k;
+pub mod threads;
 pub mod triangular;
 
-pub use level3::{gemm, gemm_into, Op};
-pub use pack::gemm_packed;
+pub use level3::{gemm, gemm_axpy, gemm_into, Op};
+pub use pack::{gemm_packed, gemm_packed_with_threads};
 pub use syr2k::{syr2k_blocked, syr2k_square};
+pub use threads::worker_threads;
 pub use triangular::potrf_lower;
 
 /// Floating-point operation counts for the kernels in this crate, used by

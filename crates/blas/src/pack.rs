@@ -1,4 +1,4 @@
-//! Packed, register-blocked GEMM.
+//! Packed, register-blocked GEMM — serial and multithreaded.
 //!
 //! The column-oriented kernel in [`crate::level3`] is simple and correct
 //! but leaves register reuse on the table. This module implements the
@@ -9,26 +9,54 @@
 //! 2–4× faster than the naive kernel at large sizes (see
 //! `benches/gemm.rs`).
 //!
-//! Only the `NoTrans × NoTrans` case is implemented natively; the public
-//! [`gemm_packed`] entry packs transposed operands during the copy, so all
-//! four combinations are supported with the same inner kernel.
+//! Multithreading follows the BLIS decomposition (see
+//! `docs/PERFORMANCE.md`): for each `(jc, pc)` macro-block the `B` panel is
+//! packed **once** and shared read-only across workers; each worker packs
+//! its own `A` micro-panels into a thread-local scratch buffer (reused
+//! across blocks, never reallocated per block) and owns a disjoint `MC`-row
+//! strip of `C` obtained with [`MatMut::split_at_row`]. Work is partitioned
+//! over the `ic` loop only — never over `pc` — so every `C` element
+//! accumulates its k-blocks in the same fixed order as the serial kernel
+//! and the parallel result is **bitwise-identical** to the serial one.
+//!
+//! All four transpose combinations are supported with the same inner
+//! kernel: packing transposes during the copy.
 
 #![allow(clippy::too_many_arguments)] // kernel plumbing mirrors the BLIS decomposition
 
 use crate::level3::Op;
+use rayon::prelude::*;
+use std::cell::RefCell;
 use tg_matrix::{MatMut, MatRef};
 
 /// Micro-kernel rows.
-const MR: usize = 4;
+const MR: usize = 8;
 /// Micro-kernel columns.
 const NR: usize = 4;
-/// Cache-block sizes (L1-ish for KC, L2-ish for MC/NC at f64).
+/// k-block size. **Fixed by the determinism contract**: `KC` decides how a
+/// dot product over `k` splits into partial sums, so changing it changes
+/// the bits of every result (and would invalidate the golden corpus).
 const KC: usize = 256;
+/// Row block: one parallel work unit (a multiple of `MR`; small enough
+/// that an `m = 1024` update yields 8 strips of parallel slack, large
+/// enough that a strip's A-panel fills the L2).
 const MC: usize = 128;
+/// Column block sized for the shared packed-B panel (`NC·KC` doubles ≈ 1 MiB).
 const NC: usize = 512;
+
+thread_local! {
+    /// Per-worker scratch for packed `A` micro-panels. Lives as long as the
+    /// worker thread, so repeated GEMMs (and every `(jc, pc)` block within
+    /// one GEMM) reuse the same allocation.
+    static APACK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// `C ← α·op(A)·op(B) + β·C` with operand packing and a register-blocked
 /// micro-kernel. Semantics identical to [`crate::gemm`].
+///
+/// Fans out to [`crate::threads::gemm_threads`] workers; inside a parallel
+/// region (a `syr2k` super-block task, a batch worker) it runs serially.
+/// Either way the result is bitwise-identical.
 pub fn gemm_packed(
     alpha: f64,
     a: &MatRef<'_>,
@@ -37,6 +65,31 @@ pub fn gemm_packed(
     op_b: Op,
     beta: f64,
     c: &mut MatMut<'_>,
+) {
+    gemm_packed_with_threads(
+        alpha,
+        a,
+        op_a,
+        b,
+        op_b,
+        beta,
+        c,
+        crate::threads::gemm_threads(),
+    );
+}
+
+/// [`gemm_packed`] with an explicit worker-thread count (`threads <= 1`
+/// forces the serial driver). The thread count never changes the result —
+/// this entry point exists so benches and determinism tests can pin it.
+pub fn gemm_packed_with_threads(
+    alpha: f64,
+    a: &MatRef<'_>,
+    op_a: Op,
+    b: &MatRef<'_>,
+    op_b: Op,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    threads: usize,
 ) {
     let m = op_a.rows(a);
     let k = op_a.cols(a);
@@ -56,10 +109,40 @@ pub fn gemm_packed(
         return;
     }
 
-    // packing buffers, reused across blocks
-    let mut apack = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
+    // shared packed-B panel, reused across (jc, pc) blocks
     let mut bpack = vec![0.0f64; NC.div_ceil(NR) * NR * KC];
 
+    // With one worker, or a single row strip, the fan-out is pure overhead.
+    if threads <= 1 || m <= MC {
+        APACK.with(|buf| {
+            let mut apack = buf.borrow_mut();
+            ensure_len(&mut apack, MC.div_ceil(MR) * MR * KC);
+            let mut jc = 0;
+            while jc < n {
+                let nc = NC.min(n - jc);
+                let mut pc = 0;
+                while pc < k {
+                    let kc = KC.min(k - pc);
+                    pack_b(b, op_b, pc, jc, kc, nc, &mut bpack);
+                    let mut ic = 0;
+                    while ic < m {
+                        let mc = MC.min(m - ic);
+                        pack_a(a, op_a, ic, pc, mc, kc, alpha, &mut apack);
+                        let mut cblk = c.rb_mut().submatrix_mut(ic, jc, mc, nc);
+                        macro_kernel(&apack, &bpack, mc, nc, kc, &mut cblk);
+                        ic += mc;
+                    }
+                    pc += kc;
+                }
+                jc += nc;
+            }
+        });
+        return;
+    }
+
+    // Parallel driver. The pc loop stays serial with a barrier after every
+    // k-block (the par_iter joins before the next pc overwrites bpack), so
+    // per-element accumulation order is exactly the serial order.
     let mut jc = 0;
     while jc < n {
         let nc = NC.min(n - jc);
@@ -67,16 +150,37 @@ pub fn gemm_packed(
         while pc < k {
             let kc = KC.min(k - pc);
             pack_b(b, op_b, pc, jc, kc, nc, &mut bpack);
+            let bshared: &[f64] = &bpack;
+            // Disjoint MC-row strips of C[:, jc..jc+nc] — the ic partition.
+            let mut strips: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(m.div_ceil(MC));
+            let mut rest = c.rb_mut().submatrix_mut(0, jc, m, nc);
             let mut ic = 0;
             while ic < m {
                 let mc = MC.min(m - ic);
-                pack_a(a, op_a, ic, pc, mc, kc, alpha, &mut apack);
-                macro_kernel(&apack, &bpack, mc, nc, kc, ic, jc, c);
+                let (head, tail) = rest.split_at_row(mc);
+                strips.push((ic, head));
+                rest = tail;
                 ic += mc;
             }
+            strips.into_par_iter().for_each(|(ic, mut strip)| {
+                let _g = crate::threads::enter_parallel_region();
+                APACK.with(|buf| {
+                    let mut apack = buf.borrow_mut();
+                    ensure_len(&mut apack, MC.div_ceil(MR) * MR * KC);
+                    let mc = strip.nrows();
+                    pack_a(a, op_a, ic, pc, mc, kc, alpha, &mut apack);
+                    macro_kernel(&apack, bshared, mc, nc, kc, &mut strip);
+                });
+            });
             pc += kc;
         }
         jc += nc;
+    }
+}
+
+fn ensure_len(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
     }
 }
 
@@ -113,6 +217,9 @@ fn pack_a(
         }
         p += MR;
     }
+    if tg_trace::enabled() {
+        tg_trace::add(tg_trace::Counter::PackBytes, 8 * idx as u64);
+    }
 }
 
 /// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into micro-panels of `NR` columns.
@@ -136,18 +243,20 @@ fn pack_b(b: &MatRef<'_>, op_b: Op, pc: usize, jc: usize, kc: usize, nc: usize, 
         }
         p += NR;
     }
+    if tg_trace::enabled() {
+        tg_trace::add(tg_trace::Counter::PackBytes, 8 * idx as u64);
+    }
 }
 
-/// Runs the micro-kernel over all `(MR, NR)` tiles of the macro block.
+/// Runs the micro-kernel over all `(MR, NR)` tiles of one macro block.
+/// `cblk` is the `mc × nc` block of `C` the packed panels cover.
 fn macro_kernel(
     apack: &[f64],
     bpack: &[f64],
     mc: usize,
     nc: usize,
     kc: usize,
-    ic: usize,
-    jc: usize,
-    c: &mut MatMut<'_>,
+    cblk: &mut MatMut<'_>,
 ) {
     let mut jr = 0;
     while jr < nc {
@@ -157,14 +266,19 @@ fn macro_kernel(
         while ir < mc {
             let h = MR.min(mc - ir);
             let apanel = &apack[(ir / MR) * MR * kc..];
-            micro_kernel(apanel, bpanel, kc, h, w, ic + ir, jc + jr, c);
+            micro_kernel(apanel, bpanel, kc, h, w, ir, jr, cblk);
             ir += MR;
         }
         jr += NR;
     }
 }
 
-/// `MR × NR` register-blocked inner product over `kc`.
+/// `MR × NR` register-blocked inner product over `kc`, fully unrolled so
+/// the 32 accumulators stay in registers and every update is an FMA
+/// candidate. `acc[j][i]` accumulates `C[ci+i, cj+j]`; the per-element sum
+/// order over `l` is what the determinism contract fixes (the tile shape
+/// itself is bitwise-neutral — each `C` element has exactly one
+/// accumulator regardless of `MR`/`NR`).
 #[inline]
 fn micro_kernel(
     apanel: &[f64],
@@ -176,23 +290,22 @@ fn micro_kernel(
     cj: usize,
     c: &mut MatMut<'_>,
 ) {
-    let mut acc = [[0.0f64; NR]; MR];
+    let mut acc = [[0.0f64; MR]; NR];
     let a = &apanel[..kc * MR];
     let b = &bpanel[..kc * NR];
     for l in 0..kc {
-        let av = [a[l * MR], a[l * MR + 1], a[l * MR + 2], a[l * MR + 3]];
-        let bv = [b[l * NR], b[l * NR + 1], b[l * NR + 2], b[l * NR + 3]];
-        for (ai, accr) in av.iter().zip(acc.iter_mut()) {
-            accr[0] += ai * bv[0];
-            accr[1] += ai * bv[1];
-            accr[2] += ai * bv[2];
-            accr[3] += ai * bv[3];
+        let ap: &[f64; MR] = a[l * MR..l * MR + MR].try_into().unwrap();
+        let bp: &[f64; NR] = b[l * NR..l * NR + NR].try_into().unwrap();
+        for (accj, &bj) in acc.iter_mut().zip(bp.iter()) {
+            for (accij, &ai) in accj.iter_mut().zip(ap.iter()) {
+                *accij += ai * bj;
+            }
         }
     }
-    for jj in 0..w {
-        let col = c.col_mut(cj + jj);
-        for (ii, accr) in acc.iter().enumerate().take(h) {
-            col[ci + ii] += accr[jj];
+    for (jj, accj) in acc.iter().enumerate().take(w) {
+        let col = &mut c.col_mut(cj + jj)[ci..ci + h];
+        for (cij, &accij) in col.iter_mut().zip(accj.iter()) {
+            *cij += accij;
         }
     }
 }
@@ -295,6 +408,53 @@ mod tests {
         for j in 0..8 {
             for i in 0..8 {
                 assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bitwise_matches_serial() {
+        // the core contract: thread count never changes a single bit
+        for (m, n, k, seed) in [
+            (MC * 3 + 17, 97, KC + 31, 500u64),
+            (MC + 1, NC / 2 + 3, 64, 501),
+            (257, 33, 2 * KC + 5, 502),
+        ] {
+            let a = gen::random(m, k, seed);
+            let b = gen::random(k, n, seed + 1);
+            let c0 = gen::random(m, n, seed + 2);
+            let mut c_serial = c0.clone();
+            gemm_packed_with_threads(
+                1.1,
+                &a.as_ref(),
+                Op::NoTrans,
+                &b.as_ref(),
+                Op::NoTrans,
+                0.3,
+                &mut c_serial.as_mut(),
+                1,
+            );
+            for t in [2, 4, 7] {
+                let mut c_par = c0.clone();
+                gemm_packed_with_threads(
+                    1.1,
+                    &a.as_ref(),
+                    Op::NoTrans,
+                    &b.as_ref(),
+                    Op::NoTrans,
+                    0.3,
+                    &mut c_par.as_mut(),
+                    t,
+                );
+                for j in 0..n {
+                    for i in 0..m {
+                        assert_eq!(
+                            c_serial[(i, j)].to_bits(),
+                            c_par[(i, j)].to_bits(),
+                            "bit mismatch at ({i},{j}) with {t} threads, {m}x{n}x{k}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -126,58 +126,80 @@ pub fn syr2k_square(
     let _span = tg_trace::span_cat("blas.syr2k_square", "kernel", Some(("n", n as u64)));
     let sb = nb * g;
 
-    // Column super-blocks are disjoint in storage, so rayon can own them.
-    let nblk = n.div_ceil(sb);
-    let mut col_blocks: Vec<(usize, MatMut<'_>)> = Vec::with_capacity(nblk);
+    // Carve the lower triangle into a 2D grid of element-disjoint mutable
+    // super-blocks: per column super-block, split off the (untouched) rows
+    // above the diagonal, then the square diagonal block, then sb-row
+    // off-diagonal blocks. Every task in the grid is independent — this is
+    // the full Figure-7 task set, not just its column strips.
+    let mut tasks: Vec<SuperBlock<'_>> = Vec::new();
     {
         let mut rest = c.rb_mut();
         let mut j0 = 0;
         while j0 < n {
             let w = sb.min(n - j0);
-            let (head, tail) = rest.split_at_col(w);
-            col_blocks.push((j0, head));
+            let (colblk, tail) = rest.split_at_col(w);
             rest = tail;
+            let (_above_diag, lower) = colblk.split_at_row(j0);
+            let (diag, mut below) = lower.split_at_row(w);
+            tasks.push(SuperBlock {
+                i0: j0,
+                j0,
+                blk: diag,
+            });
+            let mut i0 = j0 + w;
+            while i0 < n {
+                let h = sb.min(n - i0);
+                let (blk, rest_rows) = below.split_at_row(h);
+                below = rest_rows;
+                tasks.push(SuperBlock { i0, j0, blk });
+                i0 += h;
+            }
             j0 += w;
         }
     }
 
-    col_blocks.into_par_iter().for_each(|(j0, mut cols)| {
-        let w = cols.ncols();
+    let run = |task: SuperBlock<'_>| {
+        let SuperBlock { i0, j0, mut blk } = task;
         let k = a.ncols();
+        let w = blk.ncols();
         let aj = a.submatrix(j0, 0, w, k);
         let bj = b.submatrix(j0, 0, w, k);
-        // Step 1 (left graph of Fig. 7): the diagonal super-block, computed
-        // with fine blocking so only the triangle is touched.
-        {
-            let mut cd = cols.rb_mut().submatrix_mut(j0, 0, w, w);
-            syr2k_blocked_inner(alpha, &aj, &bj, beta, &mut cd, nb);
-        }
-        // Step 2 (middle/right graphs): square off-diagonal super-blocks
-        // below the diagonal, each one a pair of square GEMMs.
-        let mut i0 = j0 + w;
-        while i0 < n {
-            let h = sb.min(n - i0);
+        if i0 == j0 {
+            // Diagonal super-block (left graph of Fig. 7), computed with
+            // fine blocking so only the triangle is touched.
+            syr2k_blocked(alpha, &aj, &bj, beta, &mut blk, nb);
+        } else {
+            // Square off-diagonal super-block (middle/right graphs): a
+            // pair of square GEMMs.
+            let h = blk.nrows();
             let ai = a.submatrix(i0, 0, h, k);
             let bi = b.submatrix(i0, 0, h, k);
-            let mut cblk = cols.rb_mut().submatrix_mut(i0, 0, h, w);
-            gemm(alpha, &ai, Op::NoTrans, &bj, Op::Trans, beta, &mut cblk);
-            gemm(alpha, &bi, Op::NoTrans, &aj, Op::Trans, 1.0, &mut cblk);
-            i0 += h;
+            gemm(alpha, &ai, Op::NoTrans, &bj, Op::Trans, beta, &mut blk);
+            gemm(alpha, &bi, Op::NoTrans, &aj, Op::Trans, 1.0, &mut blk);
         }
-    });
+    };
+
+    // Tasks write disjoint blocks and each element is computed by exactly
+    // one task with serial inner arithmetic, so the execution order — and
+    // therefore the thread count — never changes a bit of the result.
+    if tasks.len() <= 1 || crate::threads::gemm_threads() <= 1 {
+        for task in tasks {
+            run(task);
+        }
+    } else {
+        tasks.into_par_iter().for_each(|task| {
+            let _g = crate::threads::enter_parallel_region();
+            run(task);
+        });
+    }
 }
 
-/// Like [`syr2k_blocked`] but the `C` view is the diagonal block itself
-/// (local indices start at 0).
-fn syr2k_blocked_inner(
-    alpha: f64,
-    a: &MatRef<'_>,
-    b: &MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
-    nb: usize,
-) {
-    syr2k_blocked(alpha, a, b, beta, c, nb);
+/// One element-disjoint task of the Figure-7 grid: the super-block of `C`
+/// anchored at `(i0, j0)` (diagonal when `i0 == j0`).
+struct SuperBlock<'a> {
+    i0: usize,
+    j0: usize,
+    blk: MatMut<'a>,
 }
 
 #[cfg(test)]

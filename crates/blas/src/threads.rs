@@ -1,0 +1,137 @@
+//! The workspace's single source of truth for worker-thread counts, plus
+//! the nested-parallelism guard used by every parallel kernel in this crate.
+//!
+//! Everything that sizes a worker pool or *reports* a thread count — the
+//! packed-GEMM driver, the `syr2k` super-block grid, `tg_batch`'s
+//! `BatchScheduler` default, `tridiag info`/`tridiag batch`, the benches —
+//! goes through [`worker_threads`] instead of reading
+//! `rayon::current_num_threads` (or `available_parallelism`) ad hoc, so a
+//! single `TG_THREADS` override steers every component consistently. (The
+//! helper lives here rather than in `tg-batch`, where it was born, because
+//! the BLAS dispatch needs it and `tg-batch` already depends on `tg-blas`;
+//! `tg_batch::worker_threads` re-exports this one.)
+//!
+//! The region guard exists because parallel kernels compose: a batched-EVD
+//! worker calls `syr2k_square`, whose super-block tasks call `gemm`. Letting
+//! every layer fan out multiplies thread counts (workers × blocks × GEMM
+//! strips) without adding parallelism — the machine has the same number of
+//! cores. Each parallel driver therefore marks its worker closures with
+//! [`enter_parallel_region`]; inner kernels consult [`in_parallel_region`]
+//! and run serially. This is purely a scheduling decision: the serial and
+//! parallel code paths of every kernel in this crate are bitwise-identical.
+
+use std::cell::Cell;
+
+/// Number of worker threads to use by default.
+///
+/// Resolution order:
+/// 1. the `TG_THREADS` environment variable, if set to a positive integer;
+/// 2. the runtime's thread count (`rayon::current_num_threads`, which the
+///    offline shim backs with `available_parallelism`).
+pub fn worker_threads() -> usize {
+    std::env::var("TG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(rayon::current_num_threads)
+}
+
+/// One-line human-readable description for CLI/bench headers, e.g.
+/// `"4 (TG_THREADS)"` or `"8 (auto)"`.
+pub fn describe() -> String {
+    let n = worker_threads();
+    let source = if std::env::var("TG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .is_some()
+    {
+        "TG_THREADS"
+    } else {
+        "auto"
+    };
+    format!("{n} ({source})")
+}
+
+thread_local! {
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is already executing inside a parallel
+/// worker closure (a `syr2k` super-block task, a batched-GEMM job, a batch
+/// scheduler worker). Parallel drivers check this and run serially instead
+/// of fanning out a second level of threads.
+#[inline]
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|f| f.get())
+}
+
+/// Marks the current thread as inside a parallel worker for the lifetime of
+/// the returned guard. Nested guards are fine: the flag is restored to its
+/// previous value on drop.
+pub fn enter_parallel_region() -> RegionGuard {
+    let prev = IN_PARALLEL_REGION.with(|f| f.replace(true));
+    RegionGuard { prev }
+}
+
+/// RAII token from [`enter_parallel_region`].
+pub struct RegionGuard {
+    prev: bool,
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        IN_PARALLEL_REGION.with(|f| f.set(self.prev));
+    }
+}
+
+/// Thread count the GEMM/syr2k drivers should fan out to *right now*:
+/// [`worker_threads`] normally, `1` when already inside a parallel region.
+#[inline]
+pub fn gemm_threads() -> usize {
+    if in_parallel_region() {
+        1
+    } else {
+        worker_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_thread_count() {
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn describe_mentions_count() {
+        let d = describe();
+        assert!(d.contains(&worker_threads().to_string()), "{d}");
+    }
+
+    #[test]
+    fn region_guard_nests_and_restores() {
+        assert!(!in_parallel_region());
+        {
+            let _g1 = enter_parallel_region();
+            assert!(in_parallel_region());
+            assert_eq!(gemm_threads(), 1);
+            {
+                let _g2 = enter_parallel_region();
+                assert!(in_parallel_region());
+            }
+            assert!(in_parallel_region());
+        }
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn region_flag_is_per_thread() {
+        let _g = enter_parallel_region();
+        std::thread::spawn(|| assert!(!in_parallel_region()))
+            .join()
+            .unwrap();
+    }
+}

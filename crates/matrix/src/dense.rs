@@ -7,8 +7,20 @@
 //! Hot kernels should obtain whole columns via [`MatRef::col`] /
 //! [`MatMut::col_mut`] and iterate over the returned slices; that lets the
 //! compiler elide bounds checks in inner loops.
+//!
+//! Views are backed by raw pointers rather than slices. A column-major
+//! **row** block (`ld > rows`) owns a set of elements whose storage range
+//! interleaves with its sibling's, so two disjoint row blocks cannot be
+//! represented as two non-overlapping `&mut [f64]`. Pointer backing makes
+//! [`MatMut::split_at_row`] expressible — the primitive the parallel packed
+//! GEMM and the `syr2k` super-block grid are built on. Safety is preserved
+//! by construction: every view originates from a uniquely borrowed slice,
+//! splits produce element-disjoint children, and slices are only ever
+//! materialized one column segment at a time (per-column segments of
+//! disjoint views never overlap).
 
 use std::fmt;
+use std::marker::PhantomData;
 
 /// An owning, column-major `rows × cols` matrix of `f64`.
 ///
@@ -99,7 +111,8 @@ impl Mat {
             rows: self.rows,
             cols: self.cols,
             ld: self.rows,
-            data: &self.data,
+            ptr: self.data.as_ptr(),
+            _marker: PhantomData,
         }
     }
 
@@ -110,7 +123,8 @@ impl Mat {
             rows: self.rows,
             cols: self.cols,
             ld: self.rows,
-            data: &mut self.data,
+            ptr: self.data.as_mut_ptr(),
+            _marker: PhantomData,
         }
     }
 
@@ -225,10 +239,15 @@ pub struct MatRef<'a> {
     rows: usize,
     cols: usize,
     ld: usize,
-    /// `data[j*ld + i]` is element `(i, j)`; the slice covers at least
-    /// `(cols-1)*ld + rows` elements.
-    data: &'a [f64],
+    /// `*ptr.add(j*ld + i)` is element `(i, j)`; the view is valid for reads
+    /// of every element it covers.
+    ptr: *const f64,
+    _marker: PhantomData<&'a [f64]>,
 }
+
+// A MatRef is a shared borrow of f64 data; f64 is Send + Sync.
+unsafe impl Send for MatRef<'_> {}
+unsafe impl Sync for MatRef<'_> {}
 
 impl<'a> MatRef<'a> {
     /// Constructs a view from raw parts. Panics if the slice is too short.
@@ -241,7 +260,8 @@ impl<'a> MatRef<'a> {
             rows,
             cols,
             ld,
-            data,
+            ptr: data.as_ptr(),
+            _marker: PhantomData,
         }
     }
 
@@ -263,38 +283,50 @@ impl<'a> MatRef<'a> {
     /// Element access.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols);
-        self.data[j * self.ld + i]
+        assert!(i < self.rows && j < self.cols);
+        unsafe { *self.ptr.add(j * self.ld + i) }
     }
 
     /// Column `j` as a slice of length `rows`.
     #[inline]
     pub fn col(&self, j: usize) -> &'a [f64] {
-        debug_assert!(j < self.cols);
-        &self.data[j * self.ld..j * self.ld + self.rows]
+        assert!(j < self.cols);
+        // In-bounds: the column segment [j*ld, j*ld+rows) lies inside the
+        // view for every j < cols. wrapping_add keeps rows == 0 sound.
+        unsafe { std::slice::from_raw_parts(self.ptr.wrapping_add(j * self.ld), self.rows) }
     }
 
     /// Sub-matrix view anchored at `(r0, c0)` with shape `nr × nc`.
     #[inline]
     pub fn submatrix(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a> {
         assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view oob");
-        // empty views of an empty buffer must not index past the end
-        let off = if nr > 0 && nc > 0 {
-            c0 * self.ld + r0
-        } else {
-            0
-        };
-        let end = if nr > 0 && nc > 0 {
-            off + (nc - 1) * self.ld + nr
-        } else {
-            off
-        };
+        // wrapping_add: an empty child view may anchor past the end of the
+        // parent's storage; no element is ever read through it.
         MatRef {
             rows: nr,
             cols: nc,
             ld: self.ld,
-            data: &self.data[off..end.max(off)],
+            ptr: self.ptr.wrapping_add(c0 * self.ld + r0),
+            _marker: PhantomData,
         }
+    }
+
+    /// Splits into two disjoint views of column blocks `[.., :j]` and `[.., j:]`.
+    pub fn split_at_col(self, j: usize) -> (MatRef<'a>, MatRef<'a>) {
+        assert!(j <= self.cols);
+        (
+            self.submatrix(0, 0, self.rows, j),
+            self.submatrix(0, j, self.rows, self.cols - j),
+        )
+    }
+
+    /// Splits into two disjoint views of row blocks `[:i, ..]` and `[i:, ..]`.
+    pub fn split_at_row(self, i: usize) -> (MatRef<'a>, MatRef<'a>) {
+        assert!(i <= self.rows);
+        (
+            self.submatrix(0, 0, i, self.cols),
+            self.submatrix(i, 0, self.rows - i, self.cols),
+        )
     }
 
     /// Copies this view into a fresh owned matrix.
@@ -312,8 +344,18 @@ pub struct MatMut<'a> {
     rows: usize,
     cols: usize,
     ld: usize,
-    data: &'a mut [f64],
+    /// `*ptr.add(j*ld + i)` is element `(i, j)`; the view is valid for reads
+    /// and writes of every element it covers, and no other live view covers
+    /// any of those elements.
+    ptr: *mut f64,
+    _marker: PhantomData<&'a mut [f64]>,
 }
+
+// A MatMut is an exclusive borrow of f64 data; f64 is Send + Sync. Disjoint
+// MatMut views (from split_at_row / split_at_col) never alias, so moving
+// them to worker threads is as sound as sending &mut [f64] halves.
+unsafe impl Send for MatMut<'_> {}
+unsafe impl Sync for MatMut<'_> {}
 
 impl<'a> MatMut<'a> {
     /// Constructs a view from raw parts. Panics if the slice is too short.
@@ -326,7 +368,8 @@ impl<'a> MatMut<'a> {
             rows,
             cols,
             ld,
-            data,
+            ptr: data.as_mut_ptr(),
+            _marker: PhantomData,
         }
     }
 
@@ -348,29 +391,31 @@ impl<'a> MatMut<'a> {
     /// Element access.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols);
-        self.data[j * self.ld + i]
+        assert!(i < self.rows && j < self.cols);
+        unsafe { *self.ptr.add(j * self.ld + i) }
     }
 
     /// Mutable element access.
     #[inline]
     pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols);
-        &mut self.data[j * self.ld + i]
+        assert!(i < self.rows && j < self.cols);
+        unsafe { &mut *self.ptr.add(j * self.ld + i) }
     }
 
     /// Column `j` as a slice.
     #[inline]
     pub fn col(&self, j: usize) -> &[f64] {
-        debug_assert!(j < self.cols);
-        &self.data[j * self.ld..j * self.ld + self.rows]
+        assert!(j < self.cols);
+        unsafe { std::slice::from_raw_parts(self.ptr.wrapping_add(j * self.ld), self.rows) }
     }
 
     /// Column `j` as a mutable slice.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
-        debug_assert!(j < self.cols);
-        &mut self.data[j * self.ld..j * self.ld + self.rows]
+        assert!(j < self.cols);
+        // Exclusive: &mut self guarantees no other slice of this view is
+        // live, and sibling views are element-disjoint by construction.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.wrapping_add(j * self.ld), self.rows) }
     }
 
     /// Reborrows: a shorter-lived mutable view of the same region.
@@ -380,7 +425,8 @@ impl<'a> MatMut<'a> {
             rows: self.rows,
             cols: self.cols,
             ld: self.ld,
-            data: self.data,
+            ptr: self.ptr,
+            _marker: PhantomData,
         }
     }
 
@@ -391,7 +437,8 @@ impl<'a> MatMut<'a> {
             rows: self.rows,
             cols: self.cols,
             ld: self.ld,
-            data: self.data,
+            ptr: self.ptr,
+            _marker: PhantomData,
         }
     }
 
@@ -399,45 +446,65 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn submatrix_mut(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a> {
         assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view oob");
-        // empty views of an empty buffer must not index past the end
-        let off = if nr > 0 && nc > 0 {
-            c0 * self.ld + r0
-        } else {
-            0
-        };
-        let end = if nr > 0 && nc > 0 {
-            off + (nc - 1) * self.ld + nr
-        } else {
-            off
-        };
+        // wrapping_add: an empty child view may anchor past the end of the
+        // parent's storage; no element is ever touched through it.
         MatMut {
             rows: nr,
             cols: nc,
             ld: self.ld,
-            data: &mut self.data[off..end.max(off)],
+            ptr: self.ptr.wrapping_add(c0 * self.ld + r0),
+            _marker: PhantomData,
         }
     }
 
     /// Splits into two disjoint mutable column blocks: `[.., :j]` and `[.., j:]`.
     pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(j <= self.cols);
-        // a view's slice may end before cols*ld (trimmed last column)
-        let mid = (j * self.ld).min(self.data.len());
-        let (left, right) = self.data.split_at_mut(mid);
-        (
-            MatMut {
-                rows: self.rows,
-                cols: j,
-                ld: self.ld,
-                data: left,
-            },
-            MatMut {
-                rows: self.rows,
-                cols: self.cols - j,
-                ld: self.ld,
-                data: right,
-            },
-        )
+        let rows = self.rows;
+        let cols = self.cols;
+        let ld = self.ld;
+        let left = MatMut {
+            rows,
+            cols: j,
+            ld,
+            ptr: self.ptr,
+            _marker: PhantomData,
+        };
+        let right = MatMut {
+            rows,
+            cols: cols - j,
+            ld,
+            ptr: self.ptr.wrapping_add(j * ld),
+            _marker: PhantomData,
+        };
+        (left, right)
+    }
+
+    /// Splits into two disjoint mutable row blocks: `[:i, ..]` and `[i:, ..]`.
+    ///
+    /// The two halves share the leading dimension, so their storage ranges
+    /// interleave — this is exactly what pointer-backed views exist for: the
+    /// halves are element-disjoint and can be mutated concurrently.
+    pub fn split_at_row(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(i <= self.rows);
+        let rows = self.rows;
+        let cols = self.cols;
+        let ld = self.ld;
+        let top = MatMut {
+            rows: i,
+            cols,
+            ld,
+            ptr: self.ptr,
+            _marker: PhantomData,
+        };
+        let bottom = MatMut {
+            rows: rows - i,
+            cols,
+            ld,
+            ptr: self.ptr.wrapping_add(i),
+            _marker: PhantomData,
+        };
+        (top, bottom)
     }
 
     /// Copies `other` into this view. Shapes must match.
@@ -536,6 +603,66 @@ mod tests {
         *r.at_mut(0, 0) = -2.0;
         assert_eq!(m[(0, 0)], -1.0);
         assert_eq!(m[(0, 2)], -2.0);
+    }
+
+    #[test]
+    fn split_at_row_disjoint() {
+        let mut m = Mat::from_fn(5, 3, |i, j| (10 * i + j) as f64);
+        {
+            let (mut top, mut bot) = m.as_mut().split_at_row(2);
+            assert_eq!(top.nrows(), 2);
+            assert_eq!(bot.nrows(), 3);
+            assert_eq!(top.ld(), 5);
+            assert_eq!(bot.ld(), 5);
+            assert_eq!(top.at(1, 2), 12.0);
+            assert_eq!(bot.at(0, 0), 20.0);
+            *top.at_mut(0, 1) = -1.0;
+            *bot.at_mut(2, 1) = -2.0;
+        }
+        assert_eq!(m[(0, 1)], -1.0);
+        assert_eq!(m[(4, 1)], -2.0);
+        // degenerate splits
+        let (t, b) = m.as_mut().split_at_row(0);
+        assert_eq!(t.nrows(), 0);
+        assert_eq!(b.nrows(), 5);
+        let (t, b) = m.as_mut().split_at_row(5);
+        assert_eq!(t.nrows(), 5);
+        assert_eq!(b.nrows(), 0);
+    }
+
+    #[test]
+    fn split_at_row_threads_write_concurrently() {
+        // The point of pointer-backed views: interleaved row halves can be
+        // mutated from different threads without aliasing slices.
+        let mut m = Mat::zeros(64, 8);
+        let (top, bot) = m.as_mut().split_at_row(32);
+        std::thread::scope(|s| {
+            for (mut half, tag) in [(top, 1.0), (bot, 2.0)] {
+                s.spawn(move || {
+                    for j in 0..half.ncols() {
+                        for v in half.col_mut(j) {
+                            *v = tag;
+                        }
+                    }
+                });
+            }
+        });
+        for j in 0..8 {
+            for i in 0..64 {
+                assert_eq!(m[(i, j)], if i < 32 { 1.0 } else { 2.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn split_ref_at_row_and_col() {
+        let m = Mat::from_fn(4, 6, |i, j| (i * 6 + j) as f64);
+        let (t, b) = m.as_ref().split_at_row(1);
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(b.at(0, 0), m[(1, 0)]);
+        let (l, r) = m.as_ref().split_at_col(4);
+        assert_eq!(l.ncols(), 4);
+        assert_eq!(r.at(3, 1), m[(3, 5)]);
     }
 
     #[test]

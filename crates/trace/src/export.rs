@@ -211,7 +211,7 @@ mod tests {
                     tid: 0,
                     ts_us: 0.0,
                     dur_us: 900.0,
-                    counters: [350_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0],
+                    counters: [350_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0, 0],
                     virtual_time: false,
                 },
                 Event {
@@ -221,7 +221,7 @@ mod tests {
                     tid: 0,
                     ts_us: 900.0,
                     dur_us: 100.0,
-                    counters: [50_000, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                    counters: [50_000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
                     virtual_time: false,
                 },
                 Event {
@@ -235,7 +235,7 @@ mod tests {
                     virtual_time: true,
                 },
             ],
-            totals: [400_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0],
+            totals: [400_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0, 0],
             wall: std::time::Duration::from_micros(1000),
         }
     }

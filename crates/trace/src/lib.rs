@@ -61,10 +61,14 @@ pub enum Counter {
     CheckFailures,
     /// Faults injected by an armed `tg-check` fault plan.
     FaultsInjected,
+    /// Bytes copied into GEMM packing buffers (A/B micro-panels). Kept
+    /// separate from [`Counter::BytesRead`]/[`Counter::BytesWritten`] so the
+    /// analytic-model cross-check window is unaffected by packing traffic.
+    PackBytes,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 10;
+pub const N_COUNTERS: usize = 11;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -78,6 +82,7 @@ impl Counter {
         Counter::ChecksRun,
         Counter::CheckFailures,
         Counter::FaultsInjected,
+        Counter::PackBytes,
     ];
 
     fn index(self) -> usize {
@@ -92,6 +97,7 @@ impl Counter {
             Counter::ChecksRun => 7,
             Counter::CheckFailures => 8,
             Counter::FaultsInjected => 9,
+            Counter::PackBytes => 10,
         }
     }
 
@@ -108,6 +114,7 @@ impl Counter {
             Counter::ChecksRun => "checks_run",
             Counter::CheckFailures => "check_failures",
             Counter::FaultsInjected => "faults_injected",
+            Counter::PackBytes => "pack_bytes",
         }
     }
 }

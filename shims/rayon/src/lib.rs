@@ -10,7 +10,22 @@
 use std::sync::Mutex;
 
 /// Number of worker threads a parallel iterator will fan out to.
+///
+/// Resolution order mirrors how a real rayon global pool would be sized in
+/// this workspace: `RAYON_NUM_THREADS` (rayon's own override), then
+/// `TG_THREADS` (the workspace convention, see `tg_blas::threads`), then
+/// the machine's `available_parallelism`. Re-read on every call so tests
+/// can steer the fan-out per-case.
 pub fn current_num_threads() -> usize {
+    for var in ["RAYON_NUM_THREADS", "TG_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
