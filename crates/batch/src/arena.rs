@@ -71,6 +71,11 @@ pub struct ArenaStats {
     pub hits: u64,
     /// `acquire` calls that had to allocate.
     pub misses: u64,
+    /// High-water mark of simultaneously acquired workspace bytes. Merged
+    /// stats sum the per-worker peaks — an upper bound on the batch-wide
+    /// simultaneous peak (exact when workers peak together, which a
+    /// uniform-shape batch does on its first problems).
+    pub peak_live_bytes: u64,
 }
 
 impl ArenaStats {
@@ -88,6 +93,7 @@ impl ArenaStats {
     pub fn merge(&mut self, other: &ArenaStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.peak_live_bytes += other.peak_live_bytes;
     }
 }
 
@@ -99,6 +105,10 @@ pub struct WorkspaceArena {
     /// Free lists: buffer length → stack of retired buffers of that length.
     free: BTreeMap<usize, Vec<Vec<f64>>>,
     stats: ArenaStats,
+    /// Bytes currently acquired (checked out and not yet released).
+    live_bytes: u64,
+    /// Peak `live_bytes` observed per shape class.
+    class_peaks: BTreeMap<ShapeClass, u64>,
 }
 
 impl WorkspaceArena {
@@ -128,6 +138,42 @@ impl WorkspaceArena {
         self.free.values().map(Vec::len).sum()
     }
 
+    /// Bytes currently checked out (acquired and not yet released).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of simultaneously acquired bytes over the arena's
+    /// lifetime (also mirrored into `Counter::ArenaLiveBytes`).
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.stats.peak_live_bytes
+    }
+
+    /// Peak live bytes observed while each shape class was active, largest
+    /// first. Acquisitions before the first `begin_problem` are counted in
+    /// the overall peak only.
+    pub fn class_peaks(&self) -> Vec<(ShapeClass, u64)> {
+        let mut v: Vec<(ShapeClass, u64)> =
+            self.class_peaks.iter().map(|(c, &p)| (*c, p)).collect();
+        v.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
+        v
+    }
+
+    fn track_acquire(&mut self, bytes: u64) {
+        self.live_bytes += bytes;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.live_bytes);
+        if let Some(class) = self.class {
+            let peak = self.class_peaks.entry(class).or_insert(0);
+            *peak = (*peak).max(self.live_bytes);
+        }
+        tg_trace::gauge_add(Counter::ArenaLiveBytes, bytes);
+    }
+
+    fn track_release(&mut self, bytes: u64) {
+        self.live_bytes = self.live_bytes.saturating_sub(bytes);
+        tg_trace::gauge_sub(Counter::ArenaLiveBytes, bytes);
+    }
+
     #[cfg(test)]
     fn peek_free(&self, len: usize) -> Option<&Vec<f64>> {
         self.free.get(&len).and_then(|v| v.last())
@@ -137,6 +183,7 @@ impl WorkspaceArena {
 impl WorkspacePool for WorkspaceArena {
     fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
         let len = rows * cols;
+        self.track_acquire(8 * len as u64);
         if let Some(mut buf) = self.free.get_mut(&len).and_then(Vec::pop) {
             self.stats.hits += 1;
             tg_trace::add(Counter::ArenaHit, 1);
@@ -165,6 +212,7 @@ impl WorkspacePool for WorkspaceArena {
 
     fn release(&mut self, m: Mat) {
         let mut buf = m.into_col_major();
+        self.track_release(8 * buf.len() as u64);
         if cfg!(debug_assertions) {
             buf.fill(f64::NAN);
         }
@@ -191,11 +239,11 @@ mod tests {
         // Same length → served from cache, and scrubbed back to zeros.
         let m2 = arena.acquire(3, 4);
         assert!(m2.as_slice().iter().all(|&x| x == 0.0), "stale data leaked");
-        assert_eq!(arena.stats(), ArenaStats { hits: 1, misses: 1 });
+        assert_eq!((arena.stats().hits, arena.stats().misses), (1, 1));
 
         // Different length → miss.
         let m3 = arena.acquire(5, 5);
-        assert_eq!(arena.stats(), ArenaStats { hits: 1, misses: 2 });
+        assert_eq!((arena.stats().hits, arena.stats().misses), (1, 2));
         arena.release(m2);
         arena.release(m3);
         assert_eq!(arena.cached_buffers(), 2);
@@ -231,7 +279,43 @@ mod tests {
         arena.begin_problem(c2); // class change: cache dropped
         assert_eq!(arena.cached_buffers(), 0);
         let _ = arena.acquire(4, 4);
-        assert_eq!(arena.stats(), ArenaStats { hits: 0, misses: 2 });
+        assert_eq!((arena.stats().hits, arena.stats().misses), (0, 2));
+    }
+
+    #[test]
+    fn live_bytes_track_high_water_and_class_peaks() {
+        let mut arena = WorkspaceArena::new();
+        let c1 = ShapeClass { n: 8, b: 2, k: 4 };
+        arena.begin_problem(c1);
+        let a = arena.acquire(4, 4); // 128 B live
+        let b = arena.acquire(2, 4); // 192 B live — peak
+        assert_eq!(arena.live_bytes(), 192);
+        arena.release(a); // 64 B live
+        assert_eq!(arena.live_bytes(), 64);
+        let c = arena.acquire(4, 4); // 192 B again (cache hit)
+        assert_eq!(arena.peak_live_bytes(), 192);
+        arena.release(b);
+        arena.release(c);
+        assert_eq!(arena.live_bytes(), 0);
+
+        let c2 = ShapeClass { n: 16, b: 2, k: 4 };
+        arena.begin_problem(c2);
+        let d = arena.acquire(16, 16); // 2048 B — new overall peak
+        arena.release(d);
+        assert_eq!(arena.peak_live_bytes(), 2048);
+        let peaks = arena.class_peaks();
+        assert_eq!(peaks[0], (c2, 2048));
+        assert_eq!(peaks[1], (c1, 192));
+
+        // merged stats sum per-worker peaks
+        let mut merged = ArenaStats::default();
+        merged.merge(&arena.stats());
+        merged.merge(&ArenaStats {
+            hits: 0,
+            misses: 1,
+            peak_live_bytes: 1000,
+        });
+        assert_eq!(merged.peak_live_bytes, 3048);
     }
 
     #[test]
@@ -242,7 +326,7 @@ mod tests {
         arena.release(m);
         let m2 = arena.acquire(0, 3);
         assert_eq!((m2.nrows(), m2.ncols()), (0, 3));
-        assert_eq!(arena.stats(), ArenaStats { hits: 1, misses: 1 });
+        assert_eq!((arena.stats().hits, arena.stats().misses), (1, 1));
     }
 
     #[test]

@@ -131,15 +131,32 @@ impl BatchScheduler {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         let merged = Mutex::new(ArenaStats::default());
+        let region = tg_trace::RegionId::fresh();
+        let _rspan = tg_trace::span_region(
+            "parallel.batch",
+            "region",
+            Some(("problems", count as u64)),
+            region,
+        );
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
+            for w in 0..workers {
+                let (next, slots, merged, f) = (&next, &slots, &merged, &f);
+                s.spawn(move || {
                     // With several workers the parallelism budget is spent
                     // across problems: mark the region so the BLAS kernels
                     // inside each problem stay serial (bitwise-identical
                     // either way) instead of nesting a second fan-out. A
                     // single worker keeps intra-kernel parallelism.
                     let _region = (workers > 1).then(tg_blas::threads::enter_parallel_region);
+                    // Worker-loop marker span: gives each worker a visible
+                    // lane in the timeline without double counting the
+                    // nested per-problem task spans.
+                    let _wspan = tg_trace::span_region(
+                        "batch.worker",
+                        "worker",
+                        Some(("w", w as u64)),
+                        region,
+                    );
                     let mut arena = WorkspaceArena::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -147,10 +164,11 @@ impl BatchScheduler {
                             break;
                         }
                         let out = {
-                            let _span = tg_trace::span_cat(
+                            let _span = tg_trace::span_region(
                                 "batch.problem",
-                                "batch.problem",
+                                "task",
                                 Some(("problem", i as u64)),
+                                region,
                             );
                             f(i, &mut arena)
                         };

@@ -13,7 +13,10 @@
 //! repro whatif              # hardware-scaling what-if scenarios
 //! repro fig10               # L2 cache-simulation hit rates (layout study)
 //! repro measured [n]        # CPU-scale measured shape checks (real kernels)
-//! repro gemm_sweep [--ci]   # GEMM dispatch-path throughput sweep -> BENCH_PR4.json
+//! repro gemm_sweep [--ci] [--reps k] [--out path]
+//!                           # GEMM dispatch-path throughput sweep -> BENCH_PR4.json
+//! repro perf_diff <base.json> <cand.json> [--advisory] [--tol x]
+//!                           # noise-aware perf-regression gate over two sweep artifacts
 //! repro batch_scaling       # batched EVD: modeled GPU scaling + measured CPU-scale run
 //! repro model_vs_measured   # traced-counter vs analytic-formula cross-check
 //! repro json                # machine-readable dump of all model figures
@@ -60,7 +63,8 @@ fn main() {
                 .unwrap_or(192);
             measured_suite(n);
         }
-        "gemm_sweep" => gemm_sweep(args.iter().any(|a| a == "--ci")),
+        "gemm_sweep" => gemm_sweep(&args[1..]),
+        "perf_diff" => perf_diff(&args[1..]),
         "anchors" => anchors(),
         "ablation" => ablation(),
         "tune" => tune(),
@@ -81,7 +85,7 @@ fn main() {
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci]|verify [n]|golden_regen|fault_campaign|batch_scaling|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -400,7 +404,12 @@ fn measured_suite(n: usize) {
 /// throughput. On a one-core runner the two run the same arithmetic, so
 /// the floor catches a broken parallel driver (lock convoy, per-call
 /// respawn storm) without pinning a flaky absolute GFLOP/s number.
-fn gemm_sweep(ci: bool) {
+fn gemm_sweep(args: &[String]) {
+    let ci = args.iter().any(|a| a == "--ci");
+    let reps = flag_value(args, "--reps")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR4.json");
     let threads = tg_blas::worker_threads();
     let sizes: &[usize] = if ci {
         &[256, 512, 1024]
@@ -408,10 +417,10 @@ fn gemm_sweep(ci: bool) {
         &[256, 512, 1024, 2048, 4096]
     };
     println!(
-        "== gemm sweep ({threads} worker threads, {} grid) ==\n",
+        "== gemm sweep ({threads} worker threads, {} grid, median of {reps}) ==\n",
         if ci { "reduced CI" } else { "full" }
     );
-    let ms = measured::gemm_sweep(sizes, threads);
+    let ms = measured::gemm_sweep_reps(sizes, threads, reps);
     println!(
         "{}",
         render_table(
@@ -464,8 +473,12 @@ fn gemm_sweep(ci: bool) {
         })
     };
     let out = serde_json::json!({
+        "schema_version": tg_bench::perf_diff::SCHEMA_VERSION,
+        "git_rev": git_revision(),
+        "tg_threads": threads,
+        "reps": reps,
         "host_threads": threads,
-        "note": "single run on the dev/CI host (2mnk flop convention); \
+        "note": "median-of-reps on the dev/CI host (2mnk flop convention); \
                  see EXPERIMENTS.md for the reading",
         "gemm": ms.iter().map(row).collect::<Vec<_>>(),
         "syr2k": serde_json::json!({
@@ -473,12 +486,75 @@ fn gemm_sweep(ci: bool) {
             "rows": sy.iter().map(row).collect::<Vec<_>>(),
         }),
     });
-    std::fs::write(
-        "BENCH_PR4.json",
-        serde_json::to_string_pretty(&out).unwrap() + "\n",
-    )
-    .expect("write BENCH_PR4.json");
-    println!("wrote BENCH_PR4.json");
+    std::fs::write(out_path, serde_json::to_string_pretty(&out).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+/// Value of `--flag <value>` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Short git revision of the working tree, for artifact provenance.
+/// `"unknown"` when git is unavailable (e.g. a source tarball).
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The noise-aware perf-regression gate: `repro perf_diff <base> <cand>`.
+/// Exit 0 = clean, 1 = regression (advisory mode: hard regressions only),
+/// 2 = unusable input (missing file, bad JSON, schema mismatch).
+fn perf_diff(args: &[String]) {
+    use tg_bench::perf_diff::{diff, load_bench};
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let advisory = args.iter().any(|a| a == "--advisory");
+    let tol = flag_value(args, "--tol").and_then(|s| s.parse::<f64>().ok());
+    let (base_path, cand_path) = match (paths.first(), paths.get(1)) {
+        (Some(b), Some(c)) => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!(
+                "usage: repro perf_diff <baseline.json> <candidate.json> [--advisory] [--tol x]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let load = |path: &str| match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+        Ok(text) => match load_bench(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("perf_diff: {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("perf_diff: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+    match diff(&base, &cand, tol) {
+        Ok(report) => {
+            print!("{}", report.render(advisory));
+            std::process::exit(report.exit_code(advisory));
+        }
+        Err(e) => {
+            eprintln!("perf_diff: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn anchors() {
@@ -913,6 +989,7 @@ fn model_vs_measured() {
     let mut rows = model_check::model_vs_measured(&shapes);
     rows.extend(model_check::check_batched_evd(48, 5));
     rows.extend(model_check::check_checker_overhead(96));
+    rows.extend(model_check::check_utilization(96, 8, 4));
     print!("{}", model_check::report(&rows));
     if rows.iter().any(|r| !r.within_tolerance()) {
         std::process::exit(1);

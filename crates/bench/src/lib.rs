@@ -11,4 +11,5 @@
 
 pub mod golden;
 pub mod measured;
+pub mod perf_diff;
 pub mod report;

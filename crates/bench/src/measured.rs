@@ -30,6 +30,16 @@ fn time_it(f: impl FnOnce()) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Runs `f` `reps` times and returns the **median** wall time. The median
+/// is the noise-robust statistic the perf-regression gate assumes (a
+/// single descheduling blip moves the mean but not the median); `reps = 1`
+/// degenerates to a plain [`time_it`].
+fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut ts: Vec<f64> = (0..reps.max(1)).map(|_| time_it(&mut f)).collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts[ts.len() / 2]
+}
+
 /// Measured `syr2k` throughput vs rank `k` (Table 1's shape on CPU):
 /// conventional blocking vs the Figure-7 square-block scheme.
 pub fn syr2k_sweep(n: usize, ks: &[usize]) -> Vec<Measurement> {
@@ -70,6 +80,13 @@ pub fn syr2k_sweep(n: usize, ks: &[usize]) -> Vec<Measurement> {
 /// driver partitions over `ic`/`jc` strips only and never splits the
 /// `pc` (k) accumulation (see `docs/PERFORMANCE.md`).
 pub fn gemm_sweep(sizes: &[usize], threads: usize) -> Vec<Measurement> {
+    gemm_sweep_reps(sizes, threads, 1)
+}
+
+/// [`gemm_sweep`] with `reps` timed repetitions per kernel, reporting the
+/// **median** time of each. All dispatch paths write with `beta = 0`, so
+/// repeating a call is idempotent and the bitwise contract still holds.
+pub fn gemm_sweep_reps(sizes: &[usize], threads: usize, reps: usize) -> Vec<Measurement> {
     use tg_blas::{gemm_axpy, gemm_packed_with_threads, Op};
     let mut out = Vec::new();
     for &n in sizes {
@@ -79,7 +96,7 @@ pub fn gemm_sweep(sizes: &[usize], threads: usize) -> Vec<Measurement> {
         let flops = tg_blas::flops::gemm(n, n, n) as f64;
 
         let mut c = c0.clone();
-        let t = time_it(|| {
+        let t = median_time(reps, || {
             gemm_axpy(
                 1.0,
                 &a.as_ref(),
@@ -98,7 +115,7 @@ pub fn gemm_sweep(sizes: &[usize], threads: usize) -> Vec<Measurement> {
         });
 
         let mut c_serial = c0.clone();
-        let t = time_it(|| {
+        let t = median_time(reps, || {
             gemm_packed_with_threads(
                 1.0,
                 &a.as_ref(),
@@ -118,7 +135,7 @@ pub fn gemm_sweep(sizes: &[usize], threads: usize) -> Vec<Measurement> {
         });
 
         let mut c_par = c0.clone();
-        let t = time_it(|| {
+        let t = median_time(reps, || {
             gemm_packed_with_threads(
                 1.0,
                 &a.as_ref(),

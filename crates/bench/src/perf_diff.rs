@@ -1,0 +1,506 @@
+//! Noise-aware perf-regression gate over `BENCH_*.json` artifacts.
+//!
+//! `repro perf_diff <baseline.json> <candidate.json>` compares two sweep
+//! artifacts row by row and classifies every kernel/size pair:
+//!
+//! * **ok** — candidate within the row's relative tolerance of baseline;
+//! * **improved** — candidate faster than baseline by more than the
+//!   tolerance (never fails the gate, but is reported so a suspicious
+//!   "improvement" from a broken timer is visible);
+//! * **regression** — candidate slower than `(1 − tol) ×` baseline;
+//! * **hard-regression** — candidate slower than **half** the baseline
+//!   throughput. Even advisory mode fails on these: a 2× collapse is
+//!   beyond any plausible scheduler noise on the rows we track.
+//!
+//! Tolerances are per kernel: parallel drivers (`packed-parallel`,
+//! `bc_pipelined`, `scheduler_w*`) get a looser budget because their times
+//! depend on how the host schedules worker threads; serial kernels get a
+//! tighter one. Artifacts produced with `--reps k > 1` store median-of-k
+//! times (see [`crate::measured`]), which is what makes these budgets
+//! defensible — a single descheduling blip does not move the median.
+//!
+//! Artifacts carry a `schema_version`; files that predate the field are
+//! treated as version 1. Comparing across schema versions is refused
+//! (exit code 2) rather than silently matching rows that may have changed
+//! meaning.
+
+use serde_json::serde::Value;
+
+/// Current artifact schema version written by `repro gemm_sweep`.
+///
+/// History: v1 = `{host_threads, note, gemm, syr2k}` (no metadata block);
+/// v2 adds `schema_version`, `git_rev`, `tg_threads`, and `reps`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Relative throughput tolerance for serial kernels.
+pub const SERIAL_TOL: f64 = 0.15;
+/// Relative throughput tolerance for parallel drivers (thread-scheduling
+/// noise on shared CI hosts dwarfs the serial jitter).
+pub const PARALLEL_TOL: f64 = 0.25;
+/// A candidate below this fraction of baseline throughput is a *hard*
+/// regression — fails even advisory mode.
+pub const HARD_FLOOR: f64 = 0.5;
+
+/// One measurement row extracted from an artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Row group: `"gemm"` or `"syr2k"`.
+    pub group: String,
+    /// Kernel label (e.g. `packed-serial`).
+    pub kernel: String,
+    /// Sweep parameter (matrix size for GEMM, rank for syr2k).
+    pub param: u64,
+    /// Throughput in GFLOP/s — the compared quantity.
+    pub gflops: f64,
+    /// Wall seconds (reported, not compared).
+    pub seconds: f64,
+}
+
+/// A parsed `BENCH_*.json` artifact.
+#[derive(Clone, Debug)]
+pub struct BenchFile {
+    /// `schema_version` field, or 1 if absent (legacy artifact).
+    pub schema_version: u64,
+    /// `git_rev` metadata, if present.
+    pub git_rev: Option<String>,
+    /// Worker-thread count the sweep ran with.
+    pub threads: Option<u64>,
+    /// Timed repetitions per kernel (median-of-k), if recorded.
+    pub reps: Option<u64>,
+    /// All measurement rows, gemm first, then syr2k.
+    pub rows: Vec<BenchRow>,
+}
+
+fn parse_rows(group: &str, arr: &Value, out: &mut Vec<BenchRow>) -> Result<(), String> {
+    let items = arr
+        .as_array()
+        .ok_or_else(|| format!("`{group}` is not an array"))?;
+    for (i, item) in items.iter().enumerate() {
+        let field = |k: &str| {
+            item.get(k)
+                .ok_or_else(|| format!("{group}[{i}] missing `{k}`"))
+        };
+        out.push(BenchRow {
+            group: group.to_string(),
+            kernel: field("kernel")?
+                .as_str()
+                .ok_or_else(|| format!("{group}[{i}].kernel is not a string"))?
+                .to_string(),
+            param: field("param")?
+                .as_u64()
+                .ok_or_else(|| format!("{group}[{i}].param is not an integer"))?,
+            gflops: field("gflops")?
+                .as_f64()
+                .ok_or_else(|| format!("{group}[{i}].gflops is not a number"))?,
+            seconds: field("seconds")?.as_f64().unwrap_or(0.0),
+        });
+    }
+    Ok(())
+}
+
+/// Parses an artifact from its JSON text.
+pub fn load_bench(text: &str) -> Result<BenchFile, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    if v.as_object().is_none() {
+        return Err("top level is not an object".into());
+    }
+    let schema_version = v
+        .get("schema_version")
+        .and_then(|x| x.as_u64())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    if let Some(gemm) = v.get("gemm") {
+        parse_rows("gemm", gemm, &mut rows)?;
+    }
+    if let Some(sy) = v.get("syr2k").and_then(|s| s.get("rows")) {
+        parse_rows("syr2k", sy, &mut rows)?;
+    }
+    if rows.is_empty() {
+        return Err("no measurement rows (expected `gemm` and/or `syr2k.rows`)".into());
+    }
+    Ok(BenchFile {
+        schema_version,
+        git_rev: v
+            .get("git_rev")
+            .and_then(|x| x.as_str())
+            .map(str::to_string),
+        threads: v
+            .get("tg_threads")
+            .or_else(|| v.get("host_threads"))
+            .and_then(|x| x.as_u64()),
+        reps: v.get("reps").and_then(|x| x.as_u64()),
+        rows,
+    })
+}
+
+/// Per-kernel relative tolerance (see module docs).
+pub fn kernel_tolerance(kernel: &str) -> f64 {
+    if kernel.contains("parallel") || kernel.contains("pipelined") || kernel.contains("scheduler") {
+        PARALLEL_TOL
+    } else {
+        SERIAL_TOL
+    }
+}
+
+/// Classification of one compared row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Within tolerance.
+    Ok,
+    /// Faster than baseline by more than the tolerance.
+    Improved,
+    /// Slower than `(1 − tol) ×` baseline.
+    Regression,
+    /// Slower than [`HARD_FLOOR`] `×` baseline — fails even advisory mode.
+    HardRegression,
+    /// Row present in baseline but missing from the candidate.
+    MissingInCandidate,
+    /// Row present in the candidate only (reported, never fails).
+    NewInCandidate,
+}
+
+/// One row of the comparison.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    pub group: String,
+    pub kernel: String,
+    pub param: u64,
+    /// Baseline GFLOP/s (0 for [`DiffStatus::NewInCandidate`] rows).
+    pub base_gflops: f64,
+    /// Candidate GFLOP/s (0 for [`DiffStatus::MissingInCandidate`] rows).
+    pub cand_gflops: f64,
+    /// Applied relative tolerance.
+    pub tol: f64,
+    pub status: DiffStatus,
+}
+
+impl DiffRow {
+    /// `candidate / baseline` throughput ratio (`NaN`-free: 0 when the
+    /// baseline row is absent).
+    pub fn ratio(&self) -> f64 {
+        if self.base_gflops > 0.0 {
+            self.cand_gflops / self.base_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Result of comparing two artifacts.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+    /// Baseline metadata echoed for the report header.
+    pub base_rev: Option<String>,
+    pub cand_rev: Option<String>,
+}
+
+impl DiffReport {
+    /// Rows classified as plain regressions.
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.status == DiffStatus::Regression)
+            .count()
+    }
+
+    /// Rows classified as hard regressions (incl. vanished rows).
+    pub fn hard_regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.status,
+                    DiffStatus::HardRegression | DiffStatus::MissingInCandidate
+                )
+            })
+            .count()
+    }
+
+    /// Machine-readable gate verdict. `advisory = true` tolerates plain
+    /// regressions (reported but exit 0) and fails only hard ones.
+    pub fn exit_code(&self, advisory: bool) -> i32 {
+        let fails = self.hard_regressions() > 0 || (!advisory && self.regressions() > 0);
+        i32::from(fails)
+    }
+
+    /// Human-readable comparison table plus verdict line.
+    pub fn render(&self, advisory: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf_diff: baseline {} vs candidate {}\n",
+            self.base_rev.as_deref().unwrap_or("(no git_rev)"),
+            self.cand_rev.as_deref().unwrap_or("(no git_rev)"),
+        ));
+        out.push_str(&format!(
+            "{:<7} {:<24} {:>6} {:>10} {:>10} {:>7} {:>6}  status\n",
+            "group", "kernel", "param", "base", "cand", "ratio", "tol"
+        ));
+        for r in &self.rows {
+            let status = match r.status {
+                DiffStatus::Ok => "ok",
+                DiffStatus::Improved => "improved",
+                DiffStatus::Regression => "REGRESSION",
+                DiffStatus::HardRegression => "HARD-REGRESSION",
+                DiffStatus::MissingInCandidate => "MISSING",
+                DiffStatus::NewInCandidate => "new",
+            };
+            let ratio = if r.base_gflops > 0.0 && r.cand_gflops > 0.0 {
+                format!("{:.3}", r.ratio())
+            } else {
+                "n/a".to_string()
+            };
+            out.push_str(&format!(
+                "{:<7} {:<24} {:>6} {:>10.3} {:>10.3} {:>7} {:>5.0}%  {}\n",
+                r.group,
+                r.kernel,
+                r.param,
+                r.base_gflops,
+                r.cand_gflops,
+                ratio,
+                r.tol * 100.0,
+                status
+            ));
+        }
+        let (hard, soft) = (self.hard_regressions(), self.regressions());
+        out.push_str(&format!(
+            "verdict: {hard} hard / {soft} soft regressions over {} rows{} -> exit {}\n",
+            self.rows.len(),
+            if advisory { " (advisory mode)" } else { "" },
+            self.exit_code(advisory)
+        ));
+        out
+    }
+}
+
+/// Compares `cand` against `base`. `tol_override`, when set, replaces the
+/// per-kernel tolerance on every row. Refuses cross-schema comparisons.
+pub fn diff(
+    base: &BenchFile,
+    cand: &BenchFile,
+    tol_override: Option<f64>,
+) -> Result<DiffReport, String> {
+    if base.schema_version != cand.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline is v{} but candidate is v{}; \
+             regenerate the baseline with the current `repro gemm_sweep` \
+             instead of comparing across schema versions",
+            base.schema_version, cand.schema_version
+        ));
+    }
+    if let (Some(bt), Some(ct)) = (base.threads, cand.threads) {
+        if bt != ct {
+            // Thread counts change which kernel variants are comparable;
+            // warn via a rendered row is overkill — refuse like schema.
+            return Err(format!(
+                "thread-count mismatch: baseline ran with {bt} threads, candidate with {ct}; \
+                 set TG_THREADS to match before comparing"
+            ));
+        }
+    }
+    let mut rows = Vec::new();
+    for b in &base.rows {
+        let tol = tol_override.unwrap_or_else(|| kernel_tolerance(&b.kernel));
+        match cand
+            .rows
+            .iter()
+            .find(|c| c.group == b.group && c.kernel == b.kernel && c.param == b.param)
+        {
+            Some(c) => {
+                let status = if c.gflops < HARD_FLOOR * b.gflops {
+                    DiffStatus::HardRegression
+                } else if c.gflops < (1.0 - tol) * b.gflops {
+                    DiffStatus::Regression
+                } else if c.gflops > (1.0 + tol) * b.gflops {
+                    DiffStatus::Improved
+                } else {
+                    DiffStatus::Ok
+                };
+                rows.push(DiffRow {
+                    group: b.group.clone(),
+                    kernel: b.kernel.clone(),
+                    param: b.param,
+                    base_gflops: b.gflops,
+                    cand_gflops: c.gflops,
+                    tol,
+                    status,
+                });
+            }
+            None => rows.push(DiffRow {
+                group: b.group.clone(),
+                kernel: b.kernel.clone(),
+                param: b.param,
+                base_gflops: b.gflops,
+                cand_gflops: 0.0,
+                tol,
+                status: DiffStatus::MissingInCandidate,
+            }),
+        }
+    }
+    for c in &cand.rows {
+        if !base
+            .rows
+            .iter()
+            .any(|b| b.group == c.group && b.kernel == c.kernel && b.param == c.param)
+        {
+            rows.push(DiffRow {
+                group: c.group.clone(),
+                kernel: c.kernel.clone(),
+                param: c.param,
+                base_gflops: 0.0,
+                cand_gflops: c.gflops,
+                tol: tol_override.unwrap_or_else(|| kernel_tolerance(&c.kernel)),
+                status: DiffStatus::NewInCandidate,
+            });
+        }
+    }
+    Ok(DiffReport {
+        rows,
+        base_rev: base.git_rev.clone(),
+        cand_rev: cand.git_rev.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(scale: f64) -> String {
+        format!(
+            r#"{{
+  "schema_version": 2,
+  "git_rev": "abc1234",
+  "host_threads": 4,
+  "tg_threads": 4,
+  "reps": 3,
+  "gemm": [
+    {{"kernel": "naive", "param": 256, "seconds": 0.01, "gflops": {}}},
+    {{"kernel": "packed-parallel(t=4)", "param": 256, "seconds": 0.005, "gflops": {}}}
+  ],
+  "syr2k": {{
+    "n": 512,
+    "rows": [
+      {{"kernel": "syr2k_square", "param": 32, "seconds": 0.02, "gflops": {}}}
+    ]
+  }}
+}}"#,
+            5.0 * scale,
+            10.0 * scale,
+            4.0 * scale
+        )
+    }
+
+    #[test]
+    fn parses_rows_and_metadata() {
+        let f = load_bench(&artifact(1.0)).unwrap();
+        assert_eq!(f.schema_version, 2);
+        assert_eq!(f.git_rev.as_deref(), Some("abc1234"));
+        assert_eq!(f.threads, Some(4));
+        assert_eq!(f.reps, Some(3));
+        assert_eq!(f.rows.len(), 3);
+        assert_eq!(f.rows[2].group, "syr2k");
+        assert_eq!(f.rows[2].param, 32);
+    }
+
+    #[test]
+    fn legacy_artifact_defaults_to_schema_v1() {
+        let legacy = r#"{"host_threads": 4,
+            "gemm": [{"kernel": "naive", "param": 64, "seconds": 0.1, "gflops": 1.0}]}"#;
+        let f = load_bench(legacy).unwrap();
+        assert_eq!(f.schema_version, 1);
+        assert_eq!(f.git_rev, None);
+    }
+
+    #[test]
+    fn self_compare_exits_zero() {
+        let f = load_bench(&artifact(1.0)).unwrap();
+        let report = diff(&f, &f, None).unwrap();
+        assert!(report.rows.iter().all(|r| r.status == DiffStatus::Ok));
+        assert_eq!(report.exit_code(false), 0);
+        assert_eq!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn degraded_candidate_exits_nonzero() {
+        let base = load_bench(&artifact(1.0)).unwrap();
+        // 20% slower: outside the 15% serial budget, inside the 25%
+        // parallel budget.
+        let cand = load_bench(&artifact(0.8)).unwrap();
+        let report = diff(&base, &cand, None).unwrap();
+        let naive = report.rows.iter().find(|r| r.kernel == "naive").unwrap();
+        assert_eq!(naive.status, DiffStatus::Regression);
+        let par = report
+            .rows
+            .iter()
+            .find(|r| r.kernel.starts_with("packed-parallel"))
+            .unwrap();
+        assert_eq!(par.status, DiffStatus::Ok, "parallel tol is looser");
+        assert_eq!(report.exit_code(false), 1);
+        assert_eq!(report.exit_code(true), 0, "no hard regressions");
+    }
+
+    #[test]
+    fn halved_throughput_is_hard_even_in_advisory_mode() {
+        let base = load_bench(&artifact(1.0)).unwrap();
+        let cand = load_bench(&artifact(0.4)).unwrap();
+        let report = diff(&base, &cand, None).unwrap();
+        assert!(report.hard_regressions() >= 1);
+        assert_eq!(report.exit_code(true), 1);
+        assert!(report.render(true).contains("HARD-REGRESSION"));
+    }
+
+    #[test]
+    fn refuses_cross_schema_comparison() {
+        let v2 = load_bench(&artifact(1.0)).unwrap();
+        let v1 = load_bench(
+            r#"{"gemm": [{"kernel": "naive", "param": 64, "seconds": 0.1, "gflops": 1.0}]}"#,
+        )
+        .unwrap();
+        let err = diff(&v2, &v1, None).unwrap_err();
+        assert!(err.contains("schema mismatch"), "got: {err}");
+        assert!(err.contains("v2") && err.contains("v1"));
+    }
+
+    #[test]
+    fn missing_row_is_hard_and_new_row_is_reported() {
+        let base = load_bench(&artifact(1.0)).unwrap();
+        let cand = load_bench(
+            r#"{"schema_version": 2, "tg_threads": 4, "gemm": [
+                {"kernel": "naive", "param": 256, "seconds": 0.01, "gflops": 5.0},
+                {"kernel": "naive", "param": 999, "seconds": 0.01, "gflops": 5.0}
+            ]}"#,
+        )
+        .unwrap();
+        let report = diff(&base, &cand, None).unwrap();
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.status == DiffStatus::MissingInCandidate));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.status == DiffStatus::NewInCandidate && r.param == 999));
+        assert_eq!(report.exit_code(true), 1, "vanished rows fail the gate");
+    }
+
+    #[test]
+    fn tolerance_override_applies_to_all_rows() {
+        let base = load_bench(&artifact(1.0)).unwrap();
+        let cand = load_bench(&artifact(0.8)).unwrap();
+        let report = diff(&base, &cand, Some(0.5)).unwrap();
+        assert_eq!(report.exit_code(false), 0, "50% budget tolerates -20%");
+    }
+
+    #[test]
+    fn committed_bench_pr4_self_compares_clean() {
+        // Acceptance criterion: `repro perf_diff BENCH_PR4.json
+        // BENCH_PR4.json` exits 0.
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json"))
+                .expect("committed BENCH_PR4.json");
+        let f = load_bench(&text).unwrap();
+        assert_eq!(f.schema_version, SCHEMA_VERSION);
+        let report = diff(&f, &f, None).unwrap();
+        assert_eq!(report.exit_code(false), 0);
+    }
+}

@@ -31,8 +31,17 @@ pub fn gemm_batched(jobs: Vec<GemmJob<'_>>) {
             run(j);
         }
     } else {
-        jobs.into_par_iter().for_each(|j| {
+        let region = tg_trace::RegionId::fresh();
+        let _rspan = tg_trace::span_region(
+            "parallel.gemm_batched",
+            "region",
+            Some(("jobs", jobs.len() as u64)),
+            region,
+        );
+        jobs.into_par_iter().enumerate().for_each(|(i, j)| {
             let _g = crate::threads::enter_parallel_region();
+            let _t =
+                tg_trace::span_region("task.gemm_job", "task", Some(("job", i as u64)), region);
             run(j);
         });
     }
@@ -72,8 +81,16 @@ pub fn gemm_batched_uniform(
 ) {
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), c.len());
+    let region = tg_trace::RegionId::fresh();
+    let _rspan = tg_trace::span_region(
+        "parallel.gemm_batched",
+        "region",
+        Some(("jobs", c.len() as u64)),
+        region,
+    );
     c.par_iter_mut().enumerate().for_each(|(i, ci)| {
         let _g = crate::threads::enter_parallel_region();
+        let _t = tg_trace::span_region("task.gemm_job", "task", Some(("job", i as u64)), region);
         gemm(
             alpha,
             &a[i].as_ref(),

@@ -109,9 +109,18 @@ pub fn gemm(
     let elems = m * n;
     if elems >= PAR_THRESHOLD && crate::threads::gemm_threads() > 1 {
         // Split C into disjoint column blocks and process them in parallel.
+        let region = tg_trace::RegionId::fresh();
+        let _rspan = tg_trace::span_region(
+            "parallel.gemm_cols",
+            "region",
+            Some(("n", n as u64)),
+            region,
+        );
         let blocks = par_col_blocks(c, JB);
         blocks.into_par_iter().for_each(|(j0, mut cb)| {
             let _g = crate::threads::enter_parallel_region();
+            let _t =
+                tg_trace::span_region("task.gemm_cols", "task", Some(("j0", j0 as u64)), region);
             gemm_block(alpha, a, op_a, b, op_b, j0, &mut cb);
         });
     } else {

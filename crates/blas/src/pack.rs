@@ -143,6 +143,13 @@ pub fn gemm_packed_with_threads(
     // Parallel driver. The pc loop stays serial with a barrier after every
     // k-block (the par_iter joins before the next pc overwrites bpack), so
     // per-element accumulation order is exactly the serial order.
+    let region = tg_trace::RegionId::fresh();
+    let _rspan = tg_trace::span_region(
+        "parallel.gemm_packed",
+        "region",
+        Some(("m", m as u64)),
+        region,
+    );
     let mut jc = 0;
     while jc < n {
         let nc = NC.min(n - jc);
@@ -164,6 +171,12 @@ pub fn gemm_packed_with_threads(
             }
             strips.into_par_iter().for_each(|(ic, mut strip)| {
                 let _g = crate::threads::enter_parallel_region();
+                let _t = tg_trace::span_region(
+                    "task.gemm_strip",
+                    "task",
+                    Some(("ic", ic as u64)),
+                    region,
+                );
                 APACK.with(|buf| {
                     let mut apack = buf.borrow_mut();
                     ensure_len(&mut apack, MC.div_ceil(MR) * MR * KC);

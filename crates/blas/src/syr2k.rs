@@ -187,8 +187,17 @@ pub fn syr2k_square(
             run(task);
         }
     } else {
+        let region = tg_trace::RegionId::fresh();
+        let _rspan =
+            tg_trace::span_region("parallel.syr2k", "region", Some(("n", n as u64)), region);
         tasks.into_par_iter().for_each(|task| {
             let _g = crate::threads::enter_parallel_region();
+            let _t = tg_trace::span_region(
+                "task.syr2k_block",
+                "task",
+                Some(("i0", task.i0 as u64)),
+                region,
+            );
             run(task);
         });
     }

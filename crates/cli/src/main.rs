@@ -1,17 +1,20 @@
 //! `tridiag` — command-line symmetric eigensolver.
 //!
 //! ```text
-//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--check]
-//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile] [--check]
-//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--check]
-//! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--check]
+//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]
+//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
+//! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
+//! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
 //! tridiag info     <in.mtx>
 //! ```
 //!
 //! `--trace <out.json>` records a Chrome trace-event file (load it in
 //! Perfetto / `chrome://tracing`); `--profile` prints a per-stage wall
-//! time / GFLOP/s table to stderr. See `docs/OBSERVABILITY.md`.
+//! time / GFLOP/s table to stderr; `--timeline` prints per-thread lanes,
+//! critical path, and parallel-region utilization; `--flamegraph <out>`
+//! writes collapsed stacks for `flamegraph.pl` / inferno. See
+//! `docs/OBSERVABILITY.md`.
 //!
 //! `--check` runs the solve under a `tg-check` session: every stage
 //! boundary is verified against its LAPACK-convention invariant (band
@@ -30,10 +33,10 @@ use tridiag_core::{tridiagonalize, Method};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--check]\n  \
-         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile] [--check]\n  \
-         tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--check]\n  \
-         tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--check]\n  \
+        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]\n  \
+         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
+         tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
+         tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
          tridiag info     <in.mtx>"
     );
@@ -56,6 +59,8 @@ struct Opts {
     seed: u64,
     trace: Option<String>,
     profile: bool,
+    timeline: bool,
+    flamegraph: Option<String>,
     check: bool,
 }
 
@@ -71,6 +76,8 @@ fn parse_opts(args: &[String]) -> Opts {
         seed: 42,
         trace: None,
         profile: false,
+        timeline: false,
+        flamegraph: None,
         check: false,
     };
     let mut it = args.iter();
@@ -79,6 +86,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--method" => o.method = it.next().cloned().unwrap_or_else(|| usage()),
             "--trace" => o.trace = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--profile" => o.profile = true,
+            "--timeline" => o.timeline = true,
+            "--flamegraph" => o.flamegraph = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--check" => o.check = true,
             "--n" => {
                 o.n = Some(
@@ -154,11 +163,13 @@ fn tridiag_method(name: &str, n: usize) -> Method {
     }
 }
 
-/// Runs `f` under a trace session when `--trace` or `--profile` was given,
-/// then writes the Chrome trace / prints the profile table (to stderr, so
-/// commands whose data goes to stdout stay pipeable).
+/// Runs `f` under a trace session when any observability flag was given
+/// (`--trace`, `--profile`, `--timeline`, `--flamegraph`), then writes the
+/// Chrome trace / collapsed-stack file and prints the profile / timeline
+/// reports (to stderr, so commands whose data goes to stdout stay
+/// pipeable).
 fn with_trace<T>(o: &Opts, f: impl FnOnce() -> T) -> T {
-    if o.trace.is_none() && !o.profile {
+    if o.trace.is_none() && !o.profile && !o.timeline && o.flamegraph.is_none() {
         return f();
     }
     let session = tg_trace::TraceSession::begin();
@@ -171,8 +182,15 @@ fn with_trace<T>(o: &Opts, f: impl FnOnce() -> T) -> T {
             trace.events.len()
         );
     }
+    if let Some(path) = &o.flamegraph {
+        std::fs::write(path, trace.flamegraph()).unwrap_or_else(|e| fail(e));
+        eprintln!("wrote collapsed-stack flamegraph to {path} (feed to flamegraph.pl / inferno)");
+    }
     if o.profile {
         eprint!("{}", trace.profile_table());
+    }
+    if o.timeline {
+        eprint!("{}", trace.timeline_report());
     }
     out
 }

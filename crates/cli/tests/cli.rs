@@ -289,3 +289,49 @@ fn check_flag_composes_with_profile_counters() {
     // Check counters land inside the enclosing trace session.
     assert!(stderr.contains("checks_run"), "{stderr}");
 }
+
+#[test]
+fn timeline_and_flamegraph_flags_emit_reports() {
+    let f = tmp("timeline_in.mtx");
+    let fg = tmp("timeline_fg.txt");
+    bin()
+        .args(["generate", f.to_str().unwrap(), "--n", "48", "--seed", "5"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args([
+            "batch",
+            "--count",
+            "4",
+            "--n",
+            "32",
+            "--threads",
+            "2",
+            "--timeline",
+            "--flamegraph",
+            fg.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // --timeline prints lanes, the parallel-region utilization table, and
+    // the critical path to stderr.
+    assert!(stderr.contains("per-thread lanes"), "{stderr}");
+    assert!(stderr.contains("parallel.batch"), "{stderr}");
+    assert!(stderr.contains("critical path"), "{stderr}");
+    // --flamegraph writes non-empty collapsed stacks ("worker-N;path us").
+    let collapsed = std::fs::read_to_string(&fg).unwrap();
+    assert!(!collapsed.trim().is_empty());
+    assert!(
+        collapsed.lines().all(|l| l
+            .rsplit_once(' ')
+            .map(|(stack, us)| stack.starts_with("worker-") && us.parse::<u64>().is_ok())
+            .unwrap_or(false)),
+        "malformed collapsed stacks:\n{collapsed}"
+    );
+}

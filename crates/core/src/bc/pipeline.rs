@@ -37,6 +37,13 @@ pub fn bulge_chase_pipelined(band: &SymBand, parallel_sweeps: usize) -> BcResult
 
     if n_sweeps > 0 {
         let _span = tg_trace::span_cat("bc.pipeline", "stage", Some(("n", n as u64)));
+        let region = tg_trace::RegionId::fresh();
+        let _rspan = tg_trace::span_region(
+            "parallel.bc",
+            "region",
+            Some(("sweeps", n_sweeps as u64)),
+            region,
+        );
         let shared = SharedBand::new(&mut work);
         // progress[s] = first row/col index sweep s may still write;
         // initialized to the sweep's starting column.
@@ -53,14 +60,31 @@ pub fn bulge_chase_pipelined(band: &SymBand, parallel_sweeps: usize) -> BcResult
                     let mut mine: Vec<(usize, Vec<BcReflector>)> = Vec::new();
                     let mut s = w;
                     while s < n_sweeps {
-                        let _sweep = tg_trace::span_cat("bc.sweep", "sweep", Some(("s", s as u64)));
+                        let _sweep = tg_trace::span_region(
+                            "bc.sweep",
+                            "task",
+                            Some(("s", s as u64)),
+                            region,
+                        );
                         let gate = |col: usize| {
                             if s > 0 {
                                 // Algorithm 2 line 5: spin until the previous
-                                // sweep is more than 2b rows ahead.
-                                while progress[s - 1].load(Ordering::Acquire) <= col + 2 * b {
-                                    std::hint::spin_loop();
-                                    std::thread::yield_now();
+                                // sweep is more than 2b rows ahead. A stall is
+                                // recorded as a wait span (subtracted from
+                                // busy time in utilization analysis); opening
+                                // it only after the first failed poll keeps
+                                // the uncontended path span-free.
+                                if progress[s - 1].load(Ordering::Acquire) <= col + 2 * b {
+                                    let _wait = tg_trace::span_region(
+                                        "bc.wait",
+                                        "wait",
+                                        Some(("s", s as u64)),
+                                        region,
+                                    );
+                                    while progress[s - 1].load(Ordering::Acquire) <= col + 2 * b {
+                                        std::hint::spin_loop();
+                                        std::thread::yield_now();
+                                    }
                                 }
                             }
                             // Algorithm 2 line 14: publish the working row.

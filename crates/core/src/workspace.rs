@@ -39,10 +39,18 @@ pub struct AllocPool;
 
 impl WorkspacePool for AllocPool {
     fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
+        // Feed the live-bytes gauge so the single-problem path reports the
+        // same workspace high-water mark the batched arenas do.
+        tg_trace::gauge_add(tg_trace::Counter::ArenaLiveBytes, 8 * (rows * cols) as u64);
         Mat::zeros(rows, cols)
     }
 
-    fn release(&mut self, _m: Mat) {}
+    fn release(&mut self, m: Mat) {
+        tg_trace::gauge_sub(
+            tg_trace::Counter::ArenaLiveBytes,
+            8 * (m.nrows() * m.ncols()) as u64,
+        );
+    }
 }
 
 #[cfg(test)]

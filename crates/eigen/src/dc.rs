@@ -43,10 +43,19 @@ pub fn stedc(t: &Tridiagonal) -> Result<(Vec<f64>, Mat), EigenError> {
     if n == 0 {
         return Ok((Vec::new(), Mat::zeros(0, 0)));
     }
-    dc_solve(&t.d, &t.e)
+    // Region-mark only the top-level split: the recursion below it reuses
+    // the same two rayon workers, so deeper joins add no parallelism worth
+    // a lane of their own in the timeline.
+    let region = tg_trace::RegionId::fresh();
+    let _rspan = tg_trace::span_region("parallel.dc", "region", Some(("n", n as u64)), region);
+    dc_solve(&t.d, &t.e, region)
 }
 
-fn dc_solve(d: &[f64], e: &[f64]) -> Result<(Vec<f64>, Mat), EigenError> {
+fn dc_solve(
+    d: &[f64],
+    e: &[f64],
+    region: Option<tg_trace::RegionId>,
+) -> Result<(Vec<f64>, Mat), EigenError> {
     let n = d.len();
     if n <= SMLSIZ {
         return steqr(&Tridiagonal::new(d.to_vec(), e.to_vec()));
@@ -62,7 +71,20 @@ fn dc_solve(d: &[f64], e: &[f64]) -> Result<(Vec<f64>, Mat), EigenError> {
     d2[0] -= beta;
     let e2 = e[m..].to_vec();
 
-    let (left, right) = rayon::join(|| dc_solve(&d1, &e1), || dc_solve(&d2, &e2));
+    let (left, right) = rayon::join(
+        || {
+            let _t = region.is_some().then(|| {
+                tg_trace::span_region("task.dc_half", "task", Some(("m", m as u64)), region)
+            });
+            dc_solve(&d1, &e1, None)
+        },
+        || {
+            let _t = region.is_some().then(|| {
+                tg_trace::span_region("task.dc_half", "task", Some(("m", (n - m) as u64)), region)
+            });
+            dc_solve(&d2, &e2, None)
+        },
+    );
     let (lam1, q1) = left?;
     let (lam2, q2) = right?;
 

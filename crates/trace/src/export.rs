@@ -10,18 +10,97 @@ pub const WALL_PID: u64 = 1;
 pub const VIRTUAL_PID: u64 = 2;
 
 impl Trace {
-    /// Renders the trace in Chrome trace-event JSON ("X" complete events),
-    /// loadable in Perfetto or `chrome://tracing`.
+    /// Renders the trace in Chrome trace-event JSON ("X" complete events
+    /// plus "M" metadata naming the process and thread lanes), loadable in
+    /// Perfetto or `chrome://tracing`.
     pub fn chrome_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.events.len() * 128);
+        let mut out = String::with_capacity(256 + self.events.len() * 128);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let meta = |out: &mut String, first: &mut bool, body: String| {
+            if !*first {
                 out.push(',');
             }
+            *first = false;
+            out.push_str(&body);
+        };
+        meta(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{WALL_PID},\"tid\":0,\
+                 \"args\":{{\"name\":\"wall clock\"}}}}"
+            ),
+        );
+        let mut lanes: Vec<(u64, bool)> = self
+            .events
+            .iter()
+            .map(|e| (e.tid, e.virtual_time))
+            .collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        if lanes.iter().any(|&(_, v)| v) {
+            meta(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{VIRTUAL_PID},\"tid\":0,\
+                     \"args\":{{\"name\":\"gpu-sim (virtual time)\"}}}}"
+                ),
+            );
+        }
+        for &(tid, virt) in &lanes {
+            let (pid, label) = if virt {
+                (VIRTUAL_PID, format!("slot-{tid}"))
+            } else {
+                (WALL_PID, format!("worker-{tid}"))
+            };
+            meta(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":{}}}}}",
+                    json_str(&label)
+                ),
+            );
+        }
+        for e in self.events.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
             write_event(&mut out, e);
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Renders the trace in collapsed-stack ("folded") format, one line per
+    /// distinct nesting path with its **self time** in integer microseconds:
+    ///
+    /// ```text
+    /// worker-0;evd;evd.reduce;blas.syr2k_square 1234
+    /// ```
+    ///
+    /// Feed to any flamegraph renderer (e.g. `flamegraph.pl`, speedscope,
+    /// inferno). Each thread lane is a separate root frame; virtual-time
+    /// simulator events are excluded.
+    pub fn flamegraph(&self) -> String {
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for seg in self.self_segments() {
+            let us = (seg.end_us - seg.ts_us).round() as u64;
+            if us == 0 {
+                continue;
+            }
+            *folded
+                .entry(format!("worker-{};{}", seg.tid, seg.path))
+                .or_insert(0) += us;
+        }
+        let mut out = String::new();
+        for (path, us) in folded {
+            let _ = writeln!(out, "{path} {us}");
+        }
         out
     }
 
@@ -66,42 +145,47 @@ impl Trace {
             "{:<22} {:<7} {:>6} {:>11} {:>7} {:>10} {:>9}",
             "span", "cat", "calls", "wall ms", "% wall", "GFLOP", "GFLOP/s"
         );
+        // zero denominators render as "n/a", never NaN: an empty session
+        // has total_s == 0, and sub-microsecond spans can round to wall 0
+        let fmt_pct = |num: f64, den: f64| -> String {
+            if den > 0.0 {
+                format!("{:.1}%", 100.0 * num / den)
+            } else {
+                "n/a".to_string()
+            }
+        };
+        let fmt_rate = |num: f64, den: f64| -> String {
+            if den > 0.0 {
+                format!("{:.2}", num / den)
+            } else {
+                "n/a".to_string()
+            }
+        };
         for r in &rows {
             let gflop = r.counters[Counter::Flops.index()] as f64 / 1e9;
-            let rate = if r.wall > 0.0 { gflop / r.wall } else { 0.0 };
-            let pct = if total_s > 0.0 {
-                100.0 * r.wall / total_s
-            } else {
-                0.0
-            };
             let _ = writeln!(
                 out,
-                "{:<22} {:<7} {:>6} {:>11.3} {:>6.1}% {:>10.3} {:>9.2}",
+                "{:<22} {:<7} {:>6} {:>11.3} {:>7} {:>10.3} {:>9}",
                 r.name,
                 r.cat,
                 r.count,
                 r.wall * 1e3,
-                pct,
+                fmt_pct(r.wall, total_s),
                 gflop,
-                rate
+                fmt_rate(gflop, r.wall)
             );
         }
         let total_gflop = self.total(Counter::Flops) as f64 / 1e9;
-        let total_rate = if total_s > 0.0 {
-            total_gflop / total_s
-        } else {
-            0.0
-        };
         let _ = writeln!(
             out,
-            "{:<22} {:<7} {:>6} {:>11.3} {:>6.1}% {:>10.3} {:>9.2}",
+            "{:<22} {:<7} {:>6} {:>11.3} {:>7} {:>10.3} {:>9}",
             "TOTAL (session)",
             "",
             "",
             total_s * 1e3,
-            100.0,
+            fmt_pct(total_s, total_s),
             total_gflop,
-            total_rate
+            fmt_rate(total_gflop, total_s)
         );
         for c in [
             Counter::BytesRead,
@@ -113,21 +197,25 @@ impl Trace {
             Counter::ChecksRun,
             Counter::CheckFailures,
             Counter::FaultsInjected,
+            Counter::PackBytes,
         ] {
             let v = self.total(c);
             if v != 0 {
                 let _ = writeln!(out, "  total {:<14} {v}", c.key());
             }
         }
+        let peak = self.total(Counter::ArenaLiveBytes);
+        if peak != 0 {
+            let _ = writeln!(out, "  peak {:<15} {peak}", Counter::ArenaLiveBytes.key());
+        }
         let hits = self.total(Counter::ArenaHit);
         let misses = self.total(Counter::ArenaMiss);
-        if hits + misses > 0 {
-            let _ = writeln!(
-                out,
-                "  arena hit rate       {:.1}%",
-                100.0 * hits as f64 / (hits + misses) as f64
-            );
-        }
+        let hit_rate = if hits + misses > 0 {
+            format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+        } else {
+            "n/a".to_string()
+        };
+        let _ = writeln!(out, "  arena hit rate       {hit_rate}");
         out
     }
 }
@@ -162,6 +250,13 @@ fn write_event(out: &mut String, e: &Event) {
     let mut first = true;
     if let Some((k, v)) = e.arg {
         let _ = write!(out, "{}:{v}", json_str(k));
+        first = false;
+    }
+    if let Some(r) = e.region {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "\"region\":{r}");
         first = false;
     }
     for c in Counter::ALL {
@@ -202,6 +297,12 @@ mod tests {
     use super::*;
 
     fn demo_trace() -> Trace {
+        let mut reduce_counters = [0u64; N_COUNTERS];
+        reduce_counters[..3].copy_from_slice(&[350_000, 16_384, 8_192]);
+        let mut solve_counters = [0u64; N_COUNTERS];
+        solve_counters[0] = 50_000;
+        let mut totals = [0u64; N_COUNTERS];
+        totals[..3].copy_from_slice(&[400_000, 16_384, 8_192]);
         Trace {
             events: vec![
                 Event {
@@ -211,8 +312,9 @@ mod tests {
                     tid: 0,
                     ts_us: 0.0,
                     dur_us: 900.0,
-                    counters: [350_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0, 0],
+                    counters: reduce_counters,
                     virtual_time: false,
+                    region: None,
                 },
                 Event {
                     name: "evd.solve",
@@ -221,8 +323,9 @@ mod tests {
                     tid: 0,
                     ts_us: 900.0,
                     dur_us: 100.0,
-                    counters: [50_000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                    counters: solve_counters,
                     virtual_time: false,
+                    region: Some(3),
                 },
                 Event {
                     name: "sim.sweep",
@@ -233,9 +336,10 @@ mod tests {
                     dur_us: 5.0,
                     counters: [0; N_COUNTERS],
                     virtual_time: true,
+                    region: None,
                 },
             ],
-            totals: [400_000, 16_384, 8_192, 0, 0, 0, 0, 0, 0, 0, 0],
+            totals,
             wall: std::time::Duration::from_micros(1000),
         }
     }
@@ -250,6 +354,36 @@ mod tests {
         assert!(json.contains("\"flops\":350000"));
         // virtual event under its own pid
         assert!(json.contains(&format!("\"pid\":{VIRTUAL_PID}")));
+        // lane metadata: named processes and one thread_name per lane
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"worker-0\""));
+        assert!(json.contains("\"name\":\"slot-1\""));
+        assert!(json.contains("gpu-sim (virtual time)"));
+        // region membership exported as an arg
+        assert!(json.contains("\"region\":3"));
+    }
+
+    #[test]
+    fn flamegraph_collapses_self_time() {
+        let fg = demo_trace().flamegraph();
+        // two sibling stage spans on worker 0, self time = full duration
+        assert!(fg.contains("worker-0;evd.reduce 900"), "{fg}");
+        assert!(fg.contains("worker-0;evd.solve 100"), "{fg}");
+        // virtual events excluded
+        assert!(!fg.contains("sim.sweep"), "{fg}");
+    }
+
+    #[test]
+    fn profile_table_renders_na_for_zero_denominators() {
+        let empty = Trace {
+            events: Vec::new(),
+            totals: [0; N_COUNTERS],
+            wall: std::time::Duration::ZERO,
+        };
+        let table = empty.profile_table();
+        assert!(table.contains("n/a"), "{table}");
+        assert!(!table.contains("NaN"), "{table}");
+        assert!(table.contains("arena hit rate       n/a"), "{table}");
     }
 
     #[test]

@@ -37,6 +37,9 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 mod export;
+pub mod timeline;
+
+pub use timeline::{CriticalPath, LaneStats, RegionUtilization, TimelineReport};
 
 /// Typed counters recorded alongside spans.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,10 +68,16 @@ pub enum Counter {
     /// separate from [`Counter::BytesRead`]/[`Counter::BytesWritten`] so the
     /// analytic-model cross-check window is unaffected by packing traffic.
     PackBytes,
+    /// Workspace-arena live bytes. Unlike every other counter this is a
+    /// **gauge**: producers call [`gauge_add`]/[`gauge_sub`] as buffers are
+    /// acquired and released, and the session total reports the *high-water
+    /// mark* (peak simultaneous live bytes), not a sum. Never use [`add`]
+    /// with this counter.
+    ArenaLiveBytes,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 11;
+pub const N_COUNTERS: usize = 12;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -83,6 +92,7 @@ impl Counter {
         Counter::CheckFailures,
         Counter::FaultsInjected,
         Counter::PackBytes,
+        Counter::ArenaLiveBytes,
     ];
 
     fn index(self) -> usize {
@@ -98,6 +108,7 @@ impl Counter {
             Counter::CheckFailures => 8,
             Counter::FaultsInjected => 9,
             Counter::PackBytes => 10,
+            Counter::ArenaLiveBytes => 11,
         }
     }
 
@@ -115,6 +126,7 @@ impl Counter {
             Counter::CheckFailures => "check_failures",
             Counter::FaultsInjected => "faults_injected",
             Counter::PackBytes => "pack_bytes",
+            Counter::ArenaLiveBytes => "arena_live_bytes",
         }
     }
 }
@@ -137,6 +149,11 @@ pub struct Event {
     /// True for simulator events on the virtual timeline — exported under
     /// a separate pid so real and virtual time don't interleave.
     pub virtual_time: bool,
+    /// Parallel-region membership: the region span itself (cat `"region"`)
+    /// and every task span spawned under it carry the same id, which lets
+    /// the timeline analyses group work by fork-join region even though the
+    /// member spans live on different threads. `None` for ordinary spans.
+    pub region: Option<u64>,
 }
 
 /// Everything recorded between [`TraceSession::begin`] and
@@ -165,6 +182,10 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 const ZERO: AtomicU64 = AtomicU64::new(0);
 static TOTALS: [AtomicU64; N_COUNTERS] = [ZERO; N_COUNTERS];
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static NEXT_REGION: AtomicU64 = AtomicU64::new(1);
+/// Current value of the [`Counter::ArenaLiveBytes`] gauge; the session
+/// total keeps the running maximum (see [`gauge_add`]).
+static GAUGE_LIVE: AtomicU64 = AtomicU64::new(0);
 
 struct CollectorState {
     epoch: Option<Instant>,
@@ -198,6 +219,7 @@ struct Frame {
     arg: Option<(&'static str, u64)>,
     start: Instant,
     counters: [u64; N_COUNTERS],
+    region: Option<u64>,
 }
 
 thread_local! {
@@ -222,6 +244,26 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Identifier of one parallel (fork-join) region. The coordinating thread
+/// allocates one with [`RegionId::fresh`], opens the region span with
+/// [`span_region`], and passes the id into its worker closures so each task
+/// span tags itself as a member. Ids are process-unique within a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionId(pub u64);
+
+impl RegionId {
+    /// Allocates a fresh region id, or `None` when tracing is disabled so
+    /// callers can thread an `Option<RegionId>` through worker closures at
+    /// zero cost on the disabled path.
+    #[inline]
+    pub fn fresh() -> Option<RegionId> {
+        if !enabled() {
+            return None;
+        }
+        Some(RegionId(NEXT_REGION.fetch_add(1, Ordering::Relaxed)))
+    }
+}
+
 // ---- session ----
 
 /// RAII handle for one recording session. Only one session can be live at
@@ -243,6 +285,7 @@ impl TraceSession {
         for t in &TOTALS {
             t.store(0, Ordering::Relaxed);
         }
+        GAUGE_LIVE.store(0, Ordering::Relaxed);
         ENABLED.store(true, Ordering::SeqCst);
         TraceSession {
             _exclusive: exclusive,
@@ -308,6 +351,21 @@ pub fn span_cat(
     cat: &'static str,
     arg: Option<(&'static str, u64)>,
 ) -> SpanGuard {
+    span_region(name, cat, arg, None)
+}
+
+/// Opens a span tagged with a parallel-region id (see [`RegionId`]).
+/// Conventional categories: the coordinating span uses cat `"region"`,
+/// member task spans `"task"`, long-lived worker-loop spans `"worker"`,
+/// and dependency-stall spans `"wait"` — the timeline analyses key off
+/// these categories when computing utilization.
+#[inline]
+pub fn span_region(
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<(&'static str, u64)>,
+    region: Option<RegionId>,
+) -> SpanGuard {
     if !enabled() {
         return SpanGuard { active: false };
     }
@@ -318,6 +376,7 @@ pub fn span_cat(
             arg,
             start: Instant::now(),
             counters: [0; N_COUNTERS],
+            region: region.map(|r| r.0),
         })
     });
     SpanGuard { active: true }
@@ -360,6 +419,7 @@ impl Drop for SpanGuard {
                 dur_us,
                 counters: frame.counters,
                 virtual_time: false,
+                region: frame.region,
             });
         }
     }
@@ -409,8 +469,37 @@ pub fn record_virtual(
             dur_us,
             counters: [0; N_COUNTERS],
             virtual_time: true,
+            region: None,
         });
     }
+}
+
+/// Raises the [`Counter::ArenaLiveBytes`] gauge by `n` bytes and folds the
+/// new current value into the session high-water mark. The peak is kept in
+/// the ordinary totals slot via `fetch_max`, so [`Trace::total`] reports
+/// *peak simultaneous* live bytes rather than a sum.
+#[inline]
+pub fn gauge_add(c: Counter, n: u64) {
+    debug_assert!(matches!(c, Counter::ArenaLiveBytes));
+    if !enabled() || n == 0 {
+        return;
+    }
+    let now = GAUGE_LIVE.fetch_add(n, Ordering::Relaxed) + n;
+    TOTALS[c.index()].fetch_max(now, Ordering::Relaxed);
+}
+
+/// Lowers the [`Counter::ArenaLiveBytes`] gauge by `n` bytes (saturating:
+/// releases recorded without a traced acquire — e.g. a session opened
+/// mid-computation — clamp at zero instead of wrapping).
+#[inline]
+pub fn gauge_sub(c: Counter, n: u64) {
+    debug_assert!(matches!(c, Counter::ArenaLiveBytes));
+    if !enabled() || n == 0 {
+        return;
+    }
+    let _ = GAUGE_LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(n))
+    });
 }
 
 #[cfg(test)]
@@ -508,6 +597,67 @@ mod tests {
         let trace = session.finish();
         assert_eq!(trace.events.len(), 2);
         assert!(trace.events.iter().all(|e| e.virtual_time));
+    }
+
+    #[test]
+    fn gauge_reports_high_water_not_sum() {
+        let _serial = serial();
+        let session = TraceSession::begin();
+        gauge_add(Counter::ArenaLiveBytes, 100);
+        gauge_add(Counter::ArenaLiveBytes, 50); // peak: 150
+        gauge_sub(Counter::ArenaLiveBytes, 120);
+        gauge_add(Counter::ArenaLiveBytes, 40); // current 70, below peak
+        let trace = session.finish();
+        assert_eq!(trace.total(Counter::ArenaLiveBytes), 150);
+        // a fresh session starts from a clean gauge
+        let s2 = TraceSession::begin();
+        gauge_add(Counter::ArenaLiveBytes, 10);
+        let t2 = s2.finish();
+        assert_eq!(t2.total(Counter::ArenaLiveBytes), 10);
+    }
+
+    #[test]
+    fn region_spans_tag_members_across_threads() {
+        let _serial = serial();
+        let session = TraceSession::begin();
+        let region = RegionId::fresh();
+        assert!(region.is_some(), "enabled session must mint region ids");
+        {
+            let _r = span_region("parallel.demo", "region", None, region);
+            std::thread::scope(|s| {
+                for i in 0..2u64 {
+                    s.spawn(move || {
+                        let _t = span_region("task.demo", "task", Some(("i", i)), region);
+                    });
+                }
+            });
+        }
+        let trace = session.finish();
+        let id = region.unwrap().0;
+        let tagged: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.region == Some(id))
+            .collect();
+        assert_eq!(tagged.len(), 3); // opener + 2 tasks
+        let regs = trace.region_utilization();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].tasks, 2);
+        assert_eq!(regs[0].workers, 2);
+    }
+
+    #[test]
+    fn region_ids_are_none_when_disabled() {
+        let _serial = serial();
+        assert!(!enabled());
+        assert_eq!(RegionId::fresh(), None);
+        let g = span_region("not.recorded", "task", None, None);
+        drop(g);
+        gauge_add(Counter::ArenaLiveBytes, 999);
+        let session = TraceSession::begin();
+        let trace = session.finish();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.total(Counter::ArenaLiveBytes), 0);
     }
 
     #[test]

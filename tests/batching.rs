@@ -97,15 +97,15 @@ fn arena_hit_rate_visible_in_profile_and_above_90_percent() {
         "profile reports {pct}%, stats say {:.1}%",
         100.0 * stats.hit_rate()
     );
-    // per-problem spans are attributed to the batch.problem category
+    // per-problem spans are "task"-category members of the batch region
     assert!(
         trace
             .events
             .iter()
-            .filter(|e| e.name == "batch.problem" && e.cat == "batch.problem")
+            .filter(|e| e.name == "batch.problem" && e.cat == "task" && e.region.is_some())
             .count()
             == probs.len(),
-        "one batch.problem span per problem"
+        "one batch.problem task span per problem"
     );
 }
 

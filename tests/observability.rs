@@ -140,18 +140,143 @@ fn chrome_json_roundtrips_with_valid_events() {
         .find(|(k, _)| k == "traceEvents")
         .map(|(_, v)| v.as_array().expect("traceEvents array"))
         .expect("traceEvents key");
-    assert_eq!(events.len(), trace.events.len());
+    // The export carries "M" (metadata: process/thread names) events in
+    // addition to one "X" event per recorded span.
+    let mut x_count = 0usize;
     for ev in events {
         let e = ev.as_object().expect("event object");
         let field = |k: &str| e.iter().find(|(n, _)| n == k).map(|(_, v)| v);
-        assert_eq!(field("ph").and_then(|v| v.as_str()), Some("X"));
-        let ts = field("ts").and_then(|v| v.as_f64()).expect("ts");
-        let dur = field("dur").and_then(|v| v.as_f64()).expect("dur");
-        assert!(ts >= 0.0 && dur >= 0.0);
+        let ph = field("ph").and_then(|v| v.as_str()).expect("ph");
         assert!(field("name").and_then(|v| v.as_str()).is_some());
         assert!(field("pid").and_then(|v| v.as_f64()).is_some());
         assert!(field("tid").and_then(|v| v.as_f64()).is_some());
+        match ph {
+            "M" => continue,
+            "X" => x_count += 1,
+            other => panic!("unexpected phase {other:?}"),
+        }
+        let ts = field("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = field("dur").and_then(|v| v.as_f64()).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
     }
+    assert_eq!(x_count, trace.events.len());
+}
+
+#[test]
+fn timeline_nesting_is_well_formed_per_thread() {
+    let _g = serial();
+    let trace = traced_evd(64);
+    // Spans on each thread must form a proper forest: positive-or-zero
+    // durations, no partially overlapping siblings.
+    trace.validate_nesting().expect("well-formed timeline");
+    assert!(!trace.lanes(false).is_empty());
+}
+
+#[test]
+fn worker_ids_are_stable_within_a_region() {
+    let _g = serial();
+    let problems: Vec<_> = (0..6).map(|s| gen::random_symmetric(24, 40 + s)).collect();
+    let method = EvdMethod::proposed_default(24);
+    let session = TraceSession::begin();
+    let batch = tg_batch::BatchScheduler::new(2)
+        .syevd(&problems, &method, false)
+        .unwrap();
+    let trace = session.finish();
+    assert_eq!(batch.results.len(), 6);
+    // Every batch.problem task must run on the tid of one of the region's
+    // batch.worker lane markers — worker ids never change mid-region.
+    let workers: Vec<u64> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "batch.worker")
+        .map(|e| e.tid)
+        .collect();
+    assert_eq!(workers.len(), 2, "one lane marker per spawned worker");
+    for e in trace.events.iter().filter(|e| e.name == "batch.problem") {
+        assert!(
+            workers.contains(&e.tid),
+            "task on tid {} outside worker lanes {workers:?}",
+            e.tid
+        );
+    }
+    // All of them share the region id of the parallel.batch opener.
+    let region = trace
+        .events
+        .iter()
+        .find(|e| e.name == "parallel.batch")
+        .expect("region opener span")
+        .region;
+    assert!(region.is_some());
+    for e in trace
+        .events
+        .iter()
+        .filter(|e| e.name == "batch.worker" || e.name == "batch.problem")
+    {
+        assert_eq!(e.region, region, "span {} left its region", e.name);
+    }
+    // And the utilization analysis sees exactly those two workers.
+    let regions = trace.region_utilization();
+    let batch_region = regions
+        .iter()
+        .find(|r| r.name == "parallel.batch")
+        .expect("region row");
+    assert_eq!(batch_region.workers, 2);
+    assert_eq!(batch_region.tasks, 6);
+    assert!(batch_region.imbalance >= 1.0);
+}
+
+#[test]
+fn disabled_tracing_records_no_timeline_and_no_gauges() {
+    let _g = serial();
+    // A full batch run with tracing disabled must leave nothing behind:
+    // no lanes, no regions, no arena high-water mark.
+    let problems: Vec<_> = (0..3).map(|s| gen::random_symmetric(24, 50 + s)).collect();
+    let method = EvdMethod::proposed_default(24);
+    let _ = tg_batch::BatchScheduler::new(2)
+        .syevd(&problems, &method, false)
+        .unwrap();
+    let session = TraceSession::begin();
+    let trace = session.finish();
+    assert!(trace.events.is_empty());
+    assert!(trace.lanes(false).is_empty());
+    assert!(trace.region_utilization().is_empty());
+    assert_eq!(trace.total(Counter::ArenaLiveBytes), 0);
+    assert!(trace.flamegraph().is_empty());
+    assert_eq!(trace.critical_path().rows.len(), 0);
+}
+
+#[test]
+fn arena_live_bytes_high_water_is_recorded() {
+    let _g = serial();
+    let session = TraceSession::begin();
+    let mut a = gen::random_symmetric(48, 9);
+    let _ = tridiagonalize(&mut a, &Method::paper_default(48));
+    let trace = session.finish();
+    let peak = trace.total(Counter::ArenaLiveBytes);
+    assert!(peak > 0, "no workspace high-water mark recorded");
+    // The reduction's scratch is a few n×k panels — sanity-bound the peak
+    // to rule out leaks in the gauge accounting (gauge_sub not firing
+    // would push the "peak" toward the sum of all acquisitions).
+    let bound = 8 * 48 * 48 * 20;
+    assert!(peak < bound as u64, "peak {peak} exceeds sanity bound");
+}
+
+#[test]
+fn flamegraph_lines_are_collapsed_stacks() {
+    let _g = serial();
+    let trace = traced_evd(48);
+    let fg = trace.flamegraph();
+    assert!(!fg.is_empty());
+    for line in fg.lines() {
+        let (stack, us) = line.rsplit_once(' ').expect("`stack us` shape");
+        assert!(stack.starts_with("worker-"), "bad stack root: {line}");
+        us.parse::<u64>().expect("integer microseconds");
+    }
+    // Nested kernels appear below their stage on the critical stacks.
+    assert!(
+        fg.lines().any(|l| l.contains("evd.reduce;")),
+        "no stack descends through evd.reduce:\n{fg}"
+    );
 }
 
 #[test]
