@@ -174,9 +174,79 @@ impl WorkspaceArena {
         tg_trace::gauge_sub(Counter::ArenaLiveBytes, bytes);
     }
 
+    /// Drops every cached buffer. The free lists rebuild on the next
+    /// problem (all misses); nothing the previous tenant touched survives.
+    /// `tg-serve` scrubs a worker's arena after any failed job attempt so
+    /// a buffer corrupted by an injected fault (e.g. a skipped zero-fill)
+    /// can never leak into a later job.
+    pub fn scrub(&mut self) {
+        self.free.clear();
+    }
+
+    /// Leases the arena to one job: declares its [`ShapeClass`] (exactly
+    /// like [`begin_problem`](WorkspaceArena::begin_problem)) and returns a
+    /// guard that restores the arena to a rentable state however the job
+    /// ends. If the job unwinds mid-attempt, its acquired buffers are
+    /// dropped by the panic instead of released back — the guard detects
+    /// the unbalanced live-byte count, repairs the accounting (including
+    /// the `ArenaLiveBytes` trace gauge), and scrubs the cache so the next
+    /// tenant starts from a clean arena.
+    pub fn lease(&mut self, class: ShapeClass) -> WorkspaceLease<'_> {
+        self.begin_problem(class);
+        let entry_live = self.live_bytes;
+        WorkspaceLease {
+            arena: self,
+            entry_live,
+        }
+    }
+
     #[cfg(test)]
     fn peek_free(&self, len: usize) -> Option<&Vec<f64>> {
         self.free.get(&len).and_then(|v| v.last())
+    }
+}
+
+/// Per-job arena lease from [`WorkspaceArena::lease`]. Derefs to the
+/// arena, so it can be passed anywhere a [`WorkspacePool`] is expected.
+#[derive(Debug)]
+pub struct WorkspaceLease<'a> {
+    arena: &'a mut WorkspaceArena,
+    entry_live: u64,
+}
+
+impl WorkspaceLease<'_> {
+    /// True while every buffer acquired under this lease has been released
+    /// back (the steady state between operations, and the required state
+    /// at the end of a successful job).
+    pub fn balanced(&self) -> bool {
+        self.arena.live_bytes == self.entry_live
+    }
+}
+
+impl std::ops::Deref for WorkspaceLease<'_> {
+    type Target = WorkspaceArena;
+    fn deref(&self) -> &WorkspaceArena {
+        self.arena
+    }
+}
+
+impl std::ops::DerefMut for WorkspaceLease<'_> {
+    fn deref_mut(&mut self) -> &mut WorkspaceArena {
+        self.arena
+    }
+}
+
+impl Drop for WorkspaceLease<'_> {
+    fn drop(&mut self) {
+        if self.arena.live_bytes != self.entry_live {
+            // The tenant unwound with buffers checked out: those Mats were
+            // dropped by the panic, not released, so the bytes can never
+            // come back. Repair the book-keeping and drop the cache.
+            let leaked = self.arena.live_bytes.saturating_sub(self.entry_live);
+            self.arena.live_bytes = self.entry_live;
+            tg_trace::gauge_sub(Counter::ArenaLiveBytes, leaked);
+            self.arena.scrub();
+        }
     }
 }
 
@@ -327,6 +397,48 @@ mod tests {
         let m2 = arena.acquire(0, 3);
         assert_eq!((m2.nrows(), m2.ncols()), (0, 3));
         assert_eq!((arena.stats().hits, arena.stats().misses), (1, 1));
+    }
+
+    #[test]
+    fn lease_tracks_balance_and_scrub_drops_cache() {
+        let class = ShapeClass { n: 8, b: 2, k: 4 };
+        let mut arena = WorkspaceArena::new();
+        {
+            let mut lease = arena.lease(class);
+            assert!(lease.balanced());
+            let m = lease.acquire(4, 4);
+            assert!(!lease.balanced());
+            lease.release(m);
+            assert!(lease.balanced());
+        }
+        assert_eq!(arena.cached_buffers(), 1);
+        arena.scrub();
+        assert_eq!(arena.cached_buffers(), 0);
+        assert_eq!(arena.live_bytes(), 0);
+    }
+
+    #[test]
+    fn lease_repairs_arena_after_unwind() {
+        let class = ShapeClass { n: 8, b: 2, k: 4 };
+        let mut arena = WorkspaceArena::new();
+        // park one clean buffer so there is a cache to scrub
+        let m = arena.acquire(4, 4);
+        arena.release(m);
+        assert_eq!(arena.cached_buffers(), 1);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lease = arena.lease(class);
+            let _held = lease.acquire(4, 4);
+            panic!("tenant died mid-attempt");
+        }));
+        assert!(result.is_err());
+        // the lease guard ran during unwind: live bytes repaired, cache
+        // scrubbed, arena immediately rentable again
+        assert_eq!(arena.live_bytes(), 0);
+        assert_eq!(arena.cached_buffers(), 0);
+        let m = arena.acquire(4, 4);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        arena.release(m);
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod arena;
 pub mod scheduler;
 pub mod threads;
 
-pub use arena::{ArenaStats, ShapeClass, WorkspaceArena};
-pub use scheduler::{BatchResult, BatchScheduler, BatchStats};
+pub use arena::{ArenaStats, ShapeClass, WorkspaceArena, WorkspaceLease};
+pub use scheduler::{BatchResult, BatchScheduler, BatchStats, CancelToken};
 pub use threads::worker_threads;

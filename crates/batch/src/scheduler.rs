@@ -17,8 +17,8 @@
 //! there are, or what ran before it on the same arena. This is asserted
 //! bitwise by the tests here and in `tests/batching.rs`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tg_eigen::{syevd_ws, EigenError, Evd, EvdMethod};
@@ -63,6 +63,33 @@ pub struct BatchResult<T> {
     pub stats: BatchStats,
 }
 
+/// Cooperative cancellation handle for batched work items.
+///
+/// Cancellation is observed at work-item granularity: a worker finishes the
+/// problem it is computing, then stops claiming new indices. Clones share
+/// one flag, so the submitting side keeps a copy and hands another to the
+/// scheduler (or to a `tg-serve` job, which checks it between retry
+/// attempts). Once cancelled, a token stays cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, takes effect at the next check).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// Runs `syevd`/`tridiagonalize` over slices of problems on a worker pool.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchScheduler {
@@ -99,29 +126,68 @@ impl BatchScheduler {
         method: &EvdMethod,
         want_vectors: bool,
     ) -> Result<BatchResult<Evd>, EigenError> {
-        let (raw, stats) = self.run(problems.len(), |i, arena| {
+        let (raw, stats) = self.run(problems.len(), None, |i, arena| {
             arena.begin_problem(ShapeClass::for_evd(problems[i].nrows(), method));
             let mut a = problems[i].clone();
             syevd_ws(&mut a, method, want_vectors, arena)
         });
-        let results = raw.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let results = raw
+            .into_iter()
+            .map(|slot| slot.expect("no token: every slot filled"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchResult { results, stats })
+    }
+
+    /// [`syevd`](BatchScheduler::syevd) with cooperative cancellation:
+    /// workers stop claiming new problems once `token` is cancelled, and
+    /// unstarted slots come back as `None` (finished ones keep their
+    /// bitwise-deterministic results — cancellation changes *which*
+    /// problems run, never what any individual result contains). The first
+    /// solver error still aborts the whole batch.
+    pub fn syevd_cancellable(
+        &self,
+        problems: &[Mat],
+        method: &EvdMethod,
+        want_vectors: bool,
+        token: &CancelToken,
+    ) -> Result<BatchResult<Option<Evd>>, EigenError> {
+        let (raw, stats) = self.run(problems.len(), Some(token), |i, arena| {
+            arena.begin_problem(ShapeClass::for_evd(problems[i].nrows(), method));
+            let mut a = problems[i].clone();
+            syevd_ws(&mut a, method, want_vectors, arena)
+        });
+        let results = raw
+            .into_iter()
+            .map(|slot| slot.transpose())
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(BatchResult { results, stats })
     }
 
     /// Tridiagonalizes every matrix in `problems` (inputs preserved).
     pub fn tridiagonalize(&self, problems: &[Mat], method: &Method) -> BatchResult<TridiagResult> {
-        let (results, stats) = self.run(problems.len(), |i, arena| {
+        let (raw, stats) = self.run(problems.len(), None, |i, arena| {
             arena.begin_problem(ShapeClass::for_method(problems[i].nrows(), method));
             let mut a = problems[i].clone();
             tridiagonalize_ws(&mut a, method, arena)
         });
+        let results = raw
+            .into_iter()
+            .map(|slot| slot.expect("no token: every slot filled"))
+            .collect();
         BatchResult { results, stats }
     }
 
     /// Generic work loop: pulls indices `0..count` off a shared atomic
     /// queue, runs `f(i, arena)` under a `batch.problem` span, and returns
-    /// results in index order plus merged stats.
-    fn run<T, F>(&self, count: usize, f: F) -> (Vec<T>, BatchStats)
+    /// results in index order plus merged stats. With a `token`, workers
+    /// stop claiming indices once it is cancelled and the unclaimed slots
+    /// come back `None`; without one every slot is `Some`.
+    fn run<T, F>(
+        &self,
+        count: usize,
+        token: Option<&CancelToken>,
+        f: F,
+    ) -> (Vec<Option<T>>, BatchStats)
     where
         T: Send,
         F: Fn(usize, &mut WorkspaceArena) -> T + Sync,
@@ -159,6 +225,9 @@ impl BatchScheduler {
                     );
                     let mut arena = WorkspaceArena::new();
                     loop {
+                        if token.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
@@ -178,10 +247,7 @@ impl BatchScheduler {
                 });
             }
         });
-        let results = slots
-            .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("every slot filled"))
-            .collect();
+        let results = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
         let stats = BatchStats {
             problems: count,
             workers,
@@ -295,6 +361,55 @@ mod tests {
             "uniform-shape batch should be >90% hits, got {:.1}% ({stats:?})",
             100.0 * stats.hit_rate()
         );
+    }
+
+    #[test]
+    fn cancelled_token_before_start_runs_nothing() {
+        let n = 16;
+        let probs = problems(4, n);
+        let method = EvdMethod::proposed_default(n);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let batch = BatchScheduler::new(2)
+            .syevd_cancellable(&probs, &method, true, &token)
+            .unwrap();
+        assert_eq!(batch.results.len(), probs.len());
+        assert!(batch.results.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cancellation_never_changes_finished_results() {
+        let n = 20;
+        let probs = problems(6, n);
+        let method = EvdMethod::proposed_default(n);
+        let reference = syevd_batched(&probs, &method, true).unwrap();
+        // Cancel from another thread mid-batch: *which* problems finish is
+        // timing-dependent, but every finished slot must be bitwise equal
+        // to the reference.
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                token.cancel();
+            })
+        };
+        let batch = BatchScheduler::new(2)
+            .syevd_cancellable(&probs, &method, true, &token)
+            .unwrap();
+        canceller.join().unwrap();
+        for (got, want) in batch.results.iter().zip(&reference) {
+            if let Some(got) = got {
+                assert_eq!(got.eigenvalues, want.eigenvalues);
+                assert_eq!(got.eigenvectors, want.eigenvectors);
+            }
+        }
+        // an un-cancelled token fills every slot
+        let full = BatchScheduler::new(2)
+            .syevd_cancellable(&probs, &method, true, &CancelToken::new())
+            .unwrap();
+        assert!(full.results.iter().all(Option::is_some));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! working unchanged; see `docs/BATCHING.md` for how `TG_THREADS` interacts
 //! with rayon's pool.
 
-pub use tg_blas::threads::{describe, worker_threads};
+pub use tg_blas::threads::{
+    describe, parse_tg_threads, try_worker_threads, worker_threads, ThreadsConfigError,
+};
 
 #[cfg(test)]
 mod tests {

@@ -26,7 +26,7 @@ pub mod triangular;
 pub use level3::{gemm, gemm_axpy, gemm_into, Op};
 pub use pack::{gemm_packed, gemm_packed_with_threads};
 pub use syr2k::{syr2k_blocked, syr2k_square};
-pub use threads::worker_threads;
+pub use threads::{parse_tg_threads, try_worker_threads, worker_threads, ThreadsConfigError};
 pub use triangular::potrf_lower;
 
 /// Floating-point operation counts for the kernels in this crate, used by

@@ -22,33 +22,88 @@
 
 use std::cell::Cell;
 
+/// Rejected `TG_THREADS` configuration.
+///
+/// The kernels themselves tolerate a garbage `TG_THREADS` (they fall back
+/// to the auto thread count — see [`worker_threads`]), but a long-running
+/// service must not silently run with a config the operator mistyped:
+/// `tg-serve` calls [`try_worker_threads`] at startup and refuses to start
+/// on `Err`, turning the typo into a clean boot-time error instead of a
+/// surprise thread count mid-request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThreadsConfigError {
+    /// `TG_THREADS` was set but did not parse as an unsigned integer.
+    NotANumber { value: String },
+    /// `TG_THREADS=0`: a worker pool needs at least one thread.
+    Zero,
+}
+
+impl std::fmt::Display for ThreadsConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsConfigError::NotANumber { value } => {
+                write!(f, "TG_THREADS={value:?} is not a positive integer")
+            }
+            ThreadsConfigError::Zero => {
+                write!(
+                    f,
+                    "TG_THREADS=0 is invalid: a worker pool needs at least one thread"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadsConfigError {}
+
+/// Parses a raw `TG_THREADS` value. `None` (unset) and empty/whitespace
+/// strings mean "no override" (`Ok(None)`); anything else must be a
+/// positive integer (surrounding whitespace tolerated).
+pub fn parse_tg_threads(raw: Option<&str>) -> Result<Option<usize>, ThreadsConfigError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(ThreadsConfigError::Zero),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(ThreadsConfigError::NotANumber {
+            value: raw.to_string(),
+        }),
+    }
+}
+
+/// Worker-thread count with *strict* `TG_THREADS` handling: a set-but-
+/// invalid override is a typed error rather than a silent fallback.
+/// Startup-validated components (the `tg-serve` job service) use this;
+/// ad-hoc kernels keep the lenient [`worker_threads`].
+pub fn try_worker_threads() -> Result<usize, ThreadsConfigError> {
+    let var = std::env::var("TG_THREADS").ok();
+    Ok(parse_tg_threads(var.as_deref())?.unwrap_or_else(rayon::current_num_threads))
+}
+
 /// Number of worker threads to use by default.
 ///
 /// Resolution order:
 /// 1. the `TG_THREADS` environment variable, if set to a positive integer;
 /// 2. the runtime's thread count (`rayon::current_num_threads`, which the
 ///    offline shim backs with `available_parallelism`).
+///
+/// Invalid overrides fall back to (2); use [`try_worker_threads`] to
+/// reject them instead.
 pub fn worker_threads() -> usize {
-    std::env::var("TG_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(rayon::current_num_threads)
+    try_worker_threads().unwrap_or_else(|_| rayon::current_num_threads())
 }
 
 /// One-line human-readable description for CLI/bench headers, e.g.
 /// `"4 (TG_THREADS)"` or `"8 (auto)"`.
 pub fn describe() -> String {
     let n = worker_threads();
-    let source = if std::env::var("TG_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .is_some()
-    {
-        "TG_THREADS"
-    } else {
-        "auto"
+    let var = std::env::var("TG_THREADS").ok();
+    let source = match parse_tg_threads(var.as_deref()) {
+        Ok(Some(_)) => "TG_THREADS",
+        _ => "auto",
     };
     format!("{n} ({source})")
 }
@@ -109,6 +164,44 @@ mod tests {
     fn describe_mentions_count() {
         let d = describe();
         assert!(d.contains(&worker_threads().to_string()), "{d}");
+    }
+
+    #[test]
+    fn parse_edge_cases() {
+        // unset / blank → no override
+        assert_eq!(parse_tg_threads(None), Ok(None));
+        assert_eq!(parse_tg_threads(Some("")), Ok(None));
+        assert_eq!(parse_tg_threads(Some("   ")), Ok(None));
+        // valid values, with surrounding whitespace tolerated
+        assert_eq!(parse_tg_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_tg_threads(Some(" 8 ")), Ok(Some(8)));
+        // zero is a typed error, not a silent fallback
+        assert_eq!(parse_tg_threads(Some("0")), Err(ThreadsConfigError::Zero));
+        assert_eq!(parse_tg_threads(Some(" 0 ")), Err(ThreadsConfigError::Zero));
+        // garbage is a typed error carrying the offending value
+        for bad in ["abc", "-1", "1.5", "4x", "0x10", "١٢"] {
+            assert_eq!(
+                parse_tg_threads(Some(bad)),
+                Err(ThreadsConfigError::NotANumber {
+                    value: bad.to_string()
+                }),
+                "input {bad:?}"
+            );
+        }
+        // errors render something an operator can act on
+        let e = parse_tg_threads(Some("abc")).unwrap_err();
+        assert!(e.to_string().contains("abc"), "{e}");
+        assert!(ThreadsConfigError::Zero.to_string().contains('0'));
+    }
+
+    #[test]
+    fn try_worker_threads_matches_lenient_when_env_is_sane() {
+        // Without mutating process env (parallel tests), only check the
+        // two resolvers agree whenever the strict one succeeds.
+        if let Ok(n) = try_worker_threads() {
+            assert_eq!(n, worker_threads());
+            assert!(n >= 1);
+        }
     }
 
     #[test]

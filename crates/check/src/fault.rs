@@ -125,6 +125,26 @@ pub struct FiredFault {
     pub index: usize,
 }
 
+thread_local! {
+    /// Faults that landed *on this thread*, monotonically increasing for
+    /// the process lifetime. Snapshot before and after a unit of work to
+    /// learn whether that work absorbed an injected fault — `tg-serve`
+    /// uses the delta to classify an attempt as transiently corrupted and
+    /// retry it, which is what makes the retry path exercised by real
+    /// injected failures rather than mocks.
+    static FIRED_ON_THREAD: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of faults that have fired on the calling thread so far (never
+/// reset; compare snapshots around a work item to attribute a fault to it).
+pub fn fired_on_this_thread() -> u64 {
+    FIRED_ON_THREAD.with(|c| c.get())
+}
+
+fn bump_fired_on_thread() {
+    FIRED_ON_THREAD.with(|c| c.set(c.get() + 1));
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -177,6 +197,7 @@ pub fn claim(site: &'static str) -> Option<(usize, FaultKind)> {
 /// Records a claimed fault as landed (bumps the trace counter).
 pub fn record_fired(site: &'static str, kind: FaultKind, index: usize) {
     tg_trace::add(tg_trace::Counter::FaultsInjected, 1);
+    bump_fired_on_thread();
     if let Some(armed) = lock_unpoisoned(armed()).as_mut() {
         armed.fired.push(FiredFault { site, kind, index });
     }
@@ -301,6 +322,7 @@ pub fn skip_zero(site: &'static str) -> bool {
     };
     if should_skip {
         tg_trace::add(tg_trace::Counter::FaultsInjected, 1);
+        bump_fired_on_thread();
     }
     should_skip
 }
@@ -407,6 +429,30 @@ mod tests {
         assert!(!skip_zero("arena.acquire")); // fire-once
         let report = session.finish();
         assert_eq!(report.faults_fired.len(), 1);
+    }
+
+    #[test]
+    fn fired_count_is_per_thread_and_monotonic() {
+        let cfg = CheckConfig::strict().with_faults(FaultPlan::single("bc.tri", FaultKind::Nan, 0));
+        let session = CheckSession::begin(cfg);
+        let before = fired_on_this_thread();
+        // firing on another thread must not move this thread's count
+        std::thread::spawn(|| {
+            let mut buf = vec![1.0; 4];
+            let _ = inject("bc.tri", &mut buf);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(fired_on_this_thread(), before);
+        let _ = session.finish();
+
+        let cfg = CheckConfig::strict().with_faults(FaultPlan::single("bc.tri", FaultKind::Nan, 0));
+        let session = CheckSession::begin(cfg);
+        let before = fired_on_this_thread();
+        let mut buf = vec![1.0; 4];
+        assert!(inject("bc.tri", &mut buf).is_some());
+        assert_eq!(fired_on_this_thread(), before + 1);
+        let _ = session.finish();
     }
 
     #[test]

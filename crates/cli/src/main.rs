@@ -5,6 +5,7 @@
 //! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
+//! tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
 //! tridiag info     <in.mtx>
 //! ```
@@ -37,6 +38,7 @@ fn usage() -> ! {
          tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
+         tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
          tridiag info     <in.mtx>"
     );
@@ -57,6 +59,11 @@ struct Opts {
     vectors: bool,
     kind: String,
     seed: u64,
+    jobs: Option<usize>,
+    deadline_ms: u64,
+    queue_cap: usize,
+    retries: u32,
+    rate_hz: f64,
     trace: Option<String>,
     profile: bool,
     timeline: bool,
@@ -74,6 +81,11 @@ fn parse_opts(args: &[String]) -> Opts {
         vectors: false,
         kind: "random".into(),
         seed: 42,
+        jobs: None,
+        deadline_ms: 30_000,
+        queue_cap: 64,
+        retries: 2,
+        rate_hz: 0.0,
         trace: None,
         profile: false,
         timeline: false,
@@ -110,6 +122,37 @@ fn parse_opts(args: &[String]) -> Opts {
                     .unwrap_or_else(|| usage())
             }
             "--vectors" => o.vectors = true,
+            "--jobs" => {
+                o.jobs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--queue-cap" => {
+                o.queue_cap = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--retries" => {
+                o.retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--rate-hz" => {
+                o.rate_hz = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--kind" => o.kind = it.next().cloned().unwrap_or_else(|| usage()),
             "--seed" => {
                 o.seed = it
@@ -216,6 +259,49 @@ fn with_check<T>(o: &Opts, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Open-loop load generator for `tridiag serve`: submission times sit on a
+/// fixed clock grid (`start + i / rate`) and are never adjusted for
+/// completions — an overloaded service keeps receiving work at full rate,
+/// which is exactly what exposes load shedding. `rate_hz == 0` submits the
+/// whole set as one burst. Returns (admitted, shed, completed-job
+/// latencies).
+fn drive_open_loop(
+    svc: &tg_serve::JobService,
+    specs: Vec<tg_serve::JobSpec>,
+    rate_hz: f64,
+    deadline_ms: u64,
+) -> (u64, u64, Vec<std::time::Duration>) {
+    use std::time::{Duration, Instant};
+    let start = Instant::now();
+    let mut ids = Vec::new();
+    let mut shed = 0u64;
+    for (i, spec) in specs.into_iter().enumerate() {
+        if rate_hz > 0.0 {
+            let due = start + Duration::from_secs_f64(i as f64 / rate_hz);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        match svc.submit(spec) {
+            Ok(id) => ids.push(id),
+            Err(tg_serve::SubmitError::Overloaded { .. }) => shed += 1,
+            Err(e) => fail(e),
+        }
+    }
+    let grace = Duration::from_millis(deadline_ms) * 2 + Duration::from_secs(60);
+    if !svc.wait_quiescent(grace) {
+        fail("service failed to quiesce within the grace period (hang?)");
+    }
+    let mut latencies = Vec::new();
+    for id in ids.iter() {
+        let out = svc.wait(*id);
+        if out.status == tg_serve::JobStatus::Completed {
+            latencies.push(out.latency);
+        }
+    }
+    (ids.len() as u64, shed, latencies)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -320,6 +406,81 @@ fn main() {
                 s.throughput(),
                 100.0 * s.arena.hit_rate()
             );
+        }
+        "serve" => {
+            if !o.positional.is_empty() {
+                usage()
+            }
+            let jobs = match o.jobs {
+                None => fail("serve requires --jobs"),
+                Some(0) => fail("--jobs must be at least 1"),
+                Some(j) => j,
+            };
+            let n = match o.n {
+                None => fail("serve requires --n"),
+                Some(0) => fail("--n must be at least 1"),
+                Some(n) => n,
+            };
+            let method = evd_method(&o.method, n);
+            let specs: Vec<_> = (0..jobs)
+                .map(|i| {
+                    tg_serve::JobSpec::new(
+                        gen::random_symmetric(n, o.seed.wrapping_add(i as u64)),
+                        method.clone(),
+                        o.vectors,
+                    )
+                    .with_priority(tg_serve::Priority::ALL[i % 3])
+                })
+                .collect();
+            let cfg = tg_serve::ServeConfig {
+                workers: o.threads,
+                queue_cap: o.queue_cap,
+                default_deadline: std::time::Duration::from_millis(o.deadline_ms),
+                max_retries: o.retries,
+                ..tg_serve::ServeConfig::default()
+            };
+            let report = with_trace(&o, || {
+                with_check(&o, || {
+                    let svc = tg_serve::JobService::start(cfg).unwrap_or_else(|e| fail(e));
+                    let outcome = drive_open_loop(&svc, specs, o.rate_hz, o.deadline_ms);
+                    let table = tg_serve::render_status_table(&svc.status_table());
+                    let stats = svc.shutdown();
+                    (outcome, table, stats)
+                })
+            });
+            let ((admitted, shed, latencies), table, stats) = report;
+            print!("{table}");
+            let l = stats.ledger;
+            eprintln!(
+                "served {} submissions on {} worker(s): {} completed, {} failed, \
+                 {} shed ({} admitted), {} retr{}, {} via fallback",
+                l.submitted,
+                o.threads.max(1),
+                l.completed,
+                l.failed,
+                l.shed,
+                admitted,
+                stats.retries,
+                if stats.retries == 1 { "y" } else { "ies" },
+                stats.fallback_completions,
+            );
+            debug_assert_eq!(l.shed, shed);
+            if !latencies.is_empty() {
+                let mut lat = latencies;
+                lat.sort_unstable();
+                let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+                eprintln!(
+                    "completed-job latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms \
+                     (deadline {} ms)",
+                    pct(0.50).as_secs_f64() * 1e3,
+                    pct(0.99).as_secs_f64() * 1e3,
+                    lat.last().unwrap().as_secs_f64() * 1e3,
+                    o.deadline_ms
+                );
+            }
+            if !l.balanced() {
+                fail("ledger conservation violated");
+            }
         }
         "generate" => {
             let [output] = o.positional.as_slice() else {

@@ -77,6 +77,7 @@ impl EvdMethod {
 }
 
 /// Result of [`syevd`].
+#[derive(Clone, Debug)]
 pub struct Evd {
     /// Eigenvalues, ascending.
     pub eigenvalues: Vec<f64>,

@@ -1,0 +1,713 @@
+//! The job service: worker pool, admission, deadlines, retries, fallback,
+//! and load shedding around the batched-EVD machinery.
+//!
+//! # Execution model
+//!
+//! [`JobService::start`] validates its config (rejecting bad `TG_THREADS`
+//! at startup with a typed error — never mid-request) and spawns a fixed
+//! worker pool. [`submit`](JobService::submit) either admits a job into
+//! the bounded priority queue or *sheds* it with a typed
+//! [`SubmitError::Overloaded`] — admission never blocks, which is what
+//! keeps an open-loop overload survivable. Workers pull jobs in priority
+//! order (FIFO within a class) and run each through the same
+//! `syevd_ws`-on-a-leased-arena path the batch scheduler uses.
+//!
+//! # Failure handling
+//!
+//! An attempt is classified *transient* when (a) an armed `tg-check` fault
+//! fired on the worker thread during the attempt (the machine-check-style
+//! signal — see [`tg_check::fault::fired_on_this_thread`]), (b) the result
+//! contains non-finite values, (c) the solver returned an error, or (d)
+//! the attempt panicked. Transient failures are retried with deterministic
+//! exponential backoff after scrubbing the worker's arena (so a poisoned
+//! buffer cannot leak into the retry — the lease guard already repaired
+//! the accounting if the attempt unwound). When the leased-arena attempts
+//! are exhausted the job falls back to the serial reference path (plain
+//! [`tg_eigen::syevd`] on a fresh allocation pool); only if that also
+//! fails does the job end as [`FailReason::Exhausted`].
+//!
+//! # Determinism contract
+//!
+//! A completed job's result is **bitwise-identical** to calling
+//! [`tg_eigen::syevd`] directly on the same input: the arena path carries
+//! the PR 2 workspace contract, the fallback *is* the direct path, and a
+//! retry recomputes from the pristine input matrix. Admission order,
+//! worker count, shedding, and retries decide *whether and when* a job
+//! completes — never what its result contains.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tg_batch::{CancelToken, ShapeClass, WorkspaceArena};
+use tg_blas::threads::ThreadsConfigError;
+use tg_eigen::{syevd, Evd};
+
+use crate::job::{FailReason, JobId, JobOutcome, JobSpec, JobStatus, StatusRow};
+use crate::queue::{BoundedQueue, Ledger, Priority, Ticket};
+
+/// Service configuration. `Default` gives a production-shaped setup;
+/// tests tighten the knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads. `0` = resolve from `TG_THREADS`/auto via the
+    /// *strict* [`tg_blas::threads::try_worker_threads`] — an invalid
+    /// override fails startup instead of silently running misconfigured.
+    pub workers: usize,
+    /// Bound on queued (admitted, not yet running) jobs — the load-
+    /// shedding threshold.
+    pub queue_cap: usize,
+    /// Deadline for jobs that don't carry their own.
+    pub default_deadline: Duration,
+    /// Transient-failure retries per job on the leased-arena path (the
+    /// job's first attempt is not a retry).
+    pub max_retries: u32,
+    /// Base backoff before retry `k` sleeps `base · 2^k`, clipped to the
+    /// job's remaining deadline budget.
+    pub retry_backoff: Duration,
+    /// After exhausting retries, make one final attempt through the
+    /// serial reference path (plain `syevd`, fresh allocations).
+    pub serial_fallback: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 64,
+            default_deadline: Duration::from_secs(30),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            serial_fallback: true,
+        }
+    }
+}
+
+/// Startup-time configuration rejection. The service refuses to boot on
+/// any of these; nothing is ever "fixed up" silently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `TG_THREADS` was set but invalid (zero / non-numeric).
+    Threads(ThreadsConfigError),
+    /// `queue_cap == 0` would shed every submission.
+    ZeroQueueCap,
+    /// A zero default deadline would expire every job at admission.
+    ZeroDeadline,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Threads(e) => write!(f, "worker-thread config rejected: {e}"),
+            ConfigError::ZeroQueueCap => write!(f, "queue_cap must be at least 1"),
+            ConfigError::ZeroDeadline => write!(f, "default_deadline must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed admission rejection from [`JobService::submit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is saturated; the job was shed (it still gets an id and a
+    /// `Shed` row in the status table, so nothing disappears from the
+    /// accounting).
+    Overloaded {
+        id: JobId,
+        queue_len: usize,
+        queue_cap: usize,
+    },
+    /// The service is shutting down and admits nothing new.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded {
+                id,
+                queue_len,
+                queue_cap,
+            } => write!(
+                f,
+                "overloaded: job {id} shed (queue {queue_len}/{queue_cap})"
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate service statistics (monotonic; read any time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Conservation ledger snapshot.
+    pub ledger: Ledger,
+    /// Attempt re-executions (arena-path retries + fallback attempts).
+    pub retries: u64,
+    /// Jobs that ended via the serial-reference fallback.
+    pub fallback_completions: u64,
+}
+
+struct JobSlot {
+    spec: Option<JobSpec>,
+    status: JobStatus,
+    priority: Priority,
+    deadline: Duration,
+    ticket: Option<Ticket>,
+    cancel: CancelToken,
+    submitted_at: Instant,
+    queue_wait: Option<Duration>,
+    finished_at: Option<Instant>,
+    attempts: u32,
+    result: Option<Evd>,
+}
+
+struct State {
+    queue: BoundedQueue<JobId>,
+    jobs: Vec<JobSlot>,
+    ledger: Ledger,
+    retries: u64,
+    fallback_completions: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    workers: usize,
+    max_retries: u32,
+    retry_backoff: Duration,
+    serial_fallback: bool,
+    default_deadline: Duration,
+    state: Mutex<State>,
+    /// Workers park here when the queue is empty.
+    work_cv: Condvar,
+    /// Waiters ([`JobService::wait`] / `wait_quiescent`) park here.
+    done_cv: Condvar,
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Long-running EVD job service. See the module docs for the execution
+/// model; construct with [`JobService::start`], stop with
+/// [`JobService::shutdown`] (drains the queue) — dropping the handle also
+/// shuts down cleanly.
+pub struct JobService {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Validates `cfg` and spawns the worker pool. Configuration problems
+    /// — including an invalid `TG_THREADS` when `workers == 0` — are
+    /// rejected here with a typed [`ConfigError`].
+    pub fn start(cfg: ServeConfig) -> Result<JobService, ConfigError> {
+        let workers = if cfg.workers == 0 {
+            tg_blas::threads::try_worker_threads().map_err(ConfigError::Threads)?
+        } else {
+            cfg.workers
+        };
+        if cfg.queue_cap == 0 {
+            return Err(ConfigError::ZeroQueueCap);
+        }
+        if cfg.default_deadline.is_zero() {
+            return Err(ConfigError::ZeroDeadline);
+        }
+        let shared = Arc::new(Shared {
+            workers,
+            max_retries: cfg.max_retries,
+            retry_backoff: cfg.retry_backoff,
+            serial_fallback: cfg.serial_fallback,
+            default_deadline: cfg.default_deadline,
+            state: Mutex::new(State {
+                queue: BoundedQueue::new(cfg.queue_cap),
+                jobs: Vec::new(),
+                ledger: Ledger::default(),
+                retries: 0,
+                fallback_completions: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tg-serve-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Ok(JobService { shared, handles })
+    }
+
+    /// Worker threads actually running.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Admits `spec` or sheds it with a typed rejection. Never blocks.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let mut st = lock_state(&self.shared);
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = st.jobs.len() as JobId;
+        let priority = spec.priority;
+        let deadline = spec.deadline.unwrap_or(self.shared.default_deadline);
+        let now = Instant::now();
+        match st.queue.admit(priority, id) {
+            Ok(ticket) => {
+                st.jobs.push(JobSlot {
+                    spec: Some(spec),
+                    status: JobStatus::Queued,
+                    priority,
+                    deadline,
+                    ticket: Some(ticket),
+                    cancel: CancelToken::new(),
+                    submitted_at: now,
+                    queue_wait: None,
+                    finished_at: None,
+                    attempts: 0,
+                    result: None,
+                });
+                st.ledger.on_admit();
+                drop(st);
+                self.shared.work_cv.notify_one();
+                Ok(id)
+            }
+            Err(full) => {
+                st.jobs.push(JobSlot {
+                    spec: None,
+                    status: JobStatus::Shed,
+                    priority,
+                    deadline,
+                    ticket: None,
+                    cancel: CancelToken::new(),
+                    submitted_at: now,
+                    queue_wait: None,
+                    finished_at: Some(now),
+                    attempts: 0,
+                    result: None,
+                });
+                st.ledger.on_shed();
+                let queue_len = st.queue.len();
+                drop(st);
+                tg_trace::add(tg_trace::Counter::JobsShed, 1);
+                self.shared.done_cv.notify_all();
+                Err(SubmitError::Overloaded {
+                    id,
+                    queue_len,
+                    queue_cap: full.cap,
+                })
+            }
+        }
+    }
+
+    /// Cancels a job. Queued jobs are removed immediately (terminal
+    /// status `cancelled`); running jobs are cancelled cooperatively at
+    /// their next retry boundary. Returns `false` when the job was
+    /// already terminal (or the id unknown).
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = lock_state(&self.shared);
+        let Some(slot) = st.jobs.get(id as usize) else {
+            return false;
+        };
+        match slot.status {
+            // A `Queued` slot with no ticket has been popped by a worker
+            // that hasn't claimed it yet — fall through to cooperative
+            // cancellation in that window.
+            JobStatus::Queued if slot.ticket.is_some() => {
+                let ticket = slot.ticket.expect("checked above");
+                let removed = st.queue.remove(ticket);
+                debug_assert_eq!(removed, Some(id));
+                let now = Instant::now();
+                let slot = &mut st.jobs[id as usize];
+                slot.status = JobStatus::Failed(FailReason::Cancelled);
+                slot.finished_at = Some(now);
+                slot.ticket = None;
+                slot.spec = None;
+                st.ledger.on_fail();
+                drop(st);
+                self.shared.done_cv.notify_all();
+                true
+            }
+            JobStatus::Queued | JobStatus::Running => {
+                slot.cancel.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until job `id` is terminal and returns its outcome (the
+    /// result, if any, is moved out — a repeat `wait` sees `None`).
+    ///
+    /// # Panics
+    /// Panics on an id this service never issued.
+    pub fn wait(&self, id: JobId) -> JobOutcome {
+        let mut st = lock_state(&self.shared);
+        loop {
+            let slot = st.jobs.get(id as usize).expect("unknown job id");
+            if slot.status.is_terminal() {
+                break;
+            }
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let slot = &mut st.jobs[id as usize];
+        JobOutcome {
+            id,
+            status: slot.status.clone(),
+            attempts: slot.attempts,
+            latency: slot
+                .finished_at
+                .map(|t| t.duration_since(slot.submitted_at))
+                .unwrap_or_default(),
+            queue_wait: slot.queue_wait.unwrap_or_default(),
+            result: slot.result.take(),
+        }
+    }
+
+    /// Blocks until every submitted job is terminal, or `timeout` passes.
+    /// Returns whether quiescence was reached — the watchdog the fault
+    /// campaign uses to prove "no hangs".
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock_state(&self.shared);
+        while !st.ledger.quiescent() {
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                return false;
+            };
+            let (guard, _timeout) = self
+                .shared
+                .done_cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        true
+    }
+
+    /// Snapshot of the conservation ledger and retry counters.
+    pub fn stats(&self) -> ServiceStats {
+        let st = lock_state(&self.shared);
+        ServiceStats {
+            ledger: st.ledger,
+            retries: st.retries,
+            fallback_completions: st.fallback_completions,
+        }
+    }
+
+    /// One row per submitted job (shed included), in id order.
+    pub fn status_table(&self) -> Vec<StatusRow> {
+        let st = lock_state(&self.shared);
+        st.jobs
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| StatusRow {
+                id: id as JobId,
+                priority: slot.priority,
+                status_label: slot.status.label(),
+            })
+            .collect()
+    }
+
+    /// Stops admission, drains the queue, joins the workers, and returns
+    /// the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = lock_state(&self.shared);
+        st.shutdown = true;
+        drop(st);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---- worker side ----
+
+fn worker_loop(shared: Arc<Shared>, widx: usize) {
+    // Mirror the batch scheduler's budget rule: with several service
+    // workers the parallelism is spent across jobs, so inner kernels run
+    // serial (bitwise-identical to their parallel selves by the PR 5
+    // contract). A single worker keeps intra-kernel parallelism.
+    let _region_guard = (shared.workers > 1).then(tg_blas::threads::enter_parallel_region);
+    let _ = widx;
+    // One arena per worker, kept across jobs so same-shape traffic reuses
+    // warm buffers (and so the `arena.acquire` fault site sees real cache
+    // hits). Failed attempts scrub it; the zeroing contract keeps results
+    // bitwise-independent of whatever ran before.
+    let mut arena = WorkspaceArena::new();
+    loop {
+        let claimed = {
+            let mut st = lock_state(&shared);
+            loop {
+                if let Some((_, _, id)) = st.queue.pop() {
+                    // The ticket leaves the queue with the pop; clearing it
+                    // routes any racing cancel to the cooperative token.
+                    st.jobs[id as usize].ticket = None;
+                    break Some(id);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match claimed {
+            Some(id) => process_job(&shared, id, &mut arena),
+            None => return,
+        }
+    }
+}
+
+/// What one attempt can report back.
+enum AttemptError {
+    /// An armed fault fired on this thread during the attempt.
+    FaultInjected { fired: u64 },
+    /// The result contained NaN/Inf.
+    NonFinite,
+    /// The solver returned an error.
+    Eigen(tg_eigen::EigenError),
+    /// The attempt panicked (caught; the worker survives).
+    Panicked(String),
+}
+
+impl std::fmt::Display for AttemptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptError::FaultInjected { fired } => {
+                write!(f, "{fired} injected fault(s) fired during the attempt")
+            }
+            AttemptError::NonFinite => write!(f, "result contained non-finite values"),
+            AttemptError::Eigen(e) => write!(f, "solver error: {e}"),
+            AttemptError::Panicked(msg) => write!(f, "attempt panicked: {msg}"),
+        }
+    }
+}
+
+fn evd_is_finite(evd: &Evd) -> bool {
+    evd.eigenvalues.iter().all(|x| x.is_finite())
+        && evd
+            .eigenvectors
+            .as_ref()
+            .is_none_or(|v| v.as_slice().iter().all(|x| x.is_finite()))
+}
+
+/// Classifies the outcome of one guarded solve: panics are caught, a
+/// fired fault or non-finite output invalidates an otherwise "successful"
+/// result.
+fn classify<F>(solve: F) -> Result<Evd, AttemptError>
+where
+    F: FnOnce() -> Result<Evd, tg_eigen::EigenError>,
+{
+    let fired_before = tg_check::fault::fired_on_this_thread();
+    let outcome = catch_unwind(AssertUnwindSafe(solve));
+    let fired = tg_check::fault::fired_on_this_thread() - fired_before;
+    match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(AttemptError::Panicked(msg))
+        }
+        Ok(Err(e)) => Err(AttemptError::Eigen(e)),
+        Ok(Ok(evd)) => {
+            if fired > 0 {
+                Err(AttemptError::FaultInjected { fired })
+            } else if !evd_is_finite(&evd) {
+                Err(AttemptError::NonFinite)
+            } else {
+                Ok(evd)
+            }
+        }
+    }
+}
+
+fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
+    // Claim the slot: record queue wait, honour cancel/deadline that
+    // arrived while queued, and pull what the attempts need.
+    let (spec, cancel, submitted_at, deadline) = {
+        let mut st = lock_state(shared);
+        let now = Instant::now();
+        let slot = &mut st.jobs[id as usize];
+        let wait = now.duration_since(slot.submitted_at);
+        slot.queue_wait = Some(wait);
+        tg_trace::record_span(
+            "serve.wait",
+            "wait",
+            Some(("job", id)),
+            slot.submitted_at,
+            now,
+            None,
+        );
+        if slot.cancel.is_cancelled() {
+            return finish_failed(shared, st, id, FailReason::Cancelled);
+        }
+        if now.duration_since(slot.submitted_at) > slot.deadline {
+            return finish_failed(shared, st, id, FailReason::DeadlineExceeded);
+        }
+        slot.status = JobStatus::Running;
+        let spec = slot.spec.clone().expect("running job keeps its spec");
+        (spec, slot.cancel.clone(), slot.submitted_at, slot.deadline)
+    };
+
+    let region = tg_trace::RegionId::fresh();
+    let _task = tg_trace::span_region("serve.job", "task", Some(("job", id)), region);
+    let hard_deadline = submitted_at + deadline;
+    let n = spec.matrix.nrows();
+    let class = ShapeClass::for_evd(n, &spec.method);
+
+    let mut attempts: u32 = 0;
+    let mut last_error: Option<AttemptError> = None;
+
+    // Leased-arena attempts: 1 + max_retries.
+    while attempts < 1 + shared.max_retries {
+        if cancel.is_cancelled() {
+            return finish_failed(shared, lock_state(shared), id, FailReason::Cancelled);
+        }
+        if Instant::now() > hard_deadline {
+            return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+        }
+        if attempts > 0 {
+            count_retry(shared);
+            if !backoff(shared, attempts - 1, hard_deadline) {
+                return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+            }
+        }
+        attempts += 1;
+        let outcome = {
+            let _span =
+                tg_trace::span_cat("serve.attempt", "stage", Some(("attempt", attempts as u64)));
+            classify(|| {
+                let mut lease = arena.lease(class);
+                let mut a = spec.matrix.clone();
+                tg_eigen::syevd_ws(&mut a, &spec.method, spec.want_vectors, &mut *lease)
+            })
+        };
+        match outcome {
+            Ok(evd) => return finish_completed(shared, id, attempts, evd, false),
+            Err(e) => {
+                // Nothing the failed attempt touched may survive into the
+                // next one: drop the cached (possibly fault-corrupted)
+                // buffers. The lease guard already repaired the live-byte
+                // accounting if the attempt unwound mid-flight.
+                arena.scrub();
+                last_error = Some(e);
+            }
+        }
+    }
+
+    // Serial reference fallback: the direct path, fresh allocations.
+    if shared.serial_fallback {
+        if cancel.is_cancelled() {
+            return finish_failed(shared, lock_state(shared), id, FailReason::Cancelled);
+        }
+        if Instant::now() > hard_deadline {
+            return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+        }
+        count_retry(shared);
+        if !backoff(shared, shared.max_retries, hard_deadline) {
+            return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+        }
+        attempts += 1;
+        let outcome = {
+            let _span = tg_trace::span_cat("serve.fallback", "stage", Some(("job", id)));
+            classify(|| {
+                let mut a = spec.matrix.clone();
+                syevd(&mut a, &spec.method, spec.want_vectors)
+            })
+        };
+        match outcome {
+            Ok(evd) => return finish_completed(shared, id, attempts, evd, true),
+            Err(e) => last_error = Some(e),
+        }
+    }
+
+    let last = last_error.map(|e| e.to_string()).unwrap_or_default();
+    finish_failed(
+        shared,
+        lock_state(shared),
+        id,
+        FailReason::Exhausted {
+            attempts,
+            last_error: last,
+        },
+    );
+}
+
+fn count_retry(shared: &Shared) {
+    tg_trace::add(tg_trace::Counter::JobsRetried, 1);
+    let mut st = lock_state(shared);
+    st.retries += 1;
+}
+
+/// Deterministic exponential backoff (`base · 2^k`), clipped to the
+/// deadline budget. Returns `false` when no budget remains.
+fn backoff(shared: &Shared, k: u32, hard_deadline: Instant) -> bool {
+    let pause = shared
+        .retry_backoff
+        .checked_mul(1u32 << k.min(16))
+        .unwrap_or(shared.retry_backoff);
+    if pause.is_zero() {
+        return true;
+    }
+    let Some(budget) = hard_deadline.checked_duration_since(Instant::now()) else {
+        return false;
+    };
+    std::thread::sleep(pause.min(budget));
+    true
+}
+
+fn finish_completed(shared: &Shared, id: JobId, attempts: u32, evd: Evd, via_fallback: bool) {
+    let mut st = lock_state(shared);
+    let slot = &mut st.jobs[id as usize];
+    slot.status = JobStatus::Completed;
+    slot.attempts = attempts;
+    slot.result = Some(evd);
+    slot.finished_at = Some(Instant::now());
+    slot.spec = None;
+    st.ledger.on_complete();
+    if via_fallback {
+        st.fallback_completions += 1;
+    }
+    drop(st);
+    shared.done_cv.notify_all();
+}
+
+fn finish_failed(shared: &Shared, mut st: MutexGuard<'_, State>, id: JobId, reason: FailReason) {
+    let slot = &mut st.jobs[id as usize];
+    slot.status = JobStatus::Failed(reason);
+    slot.finished_at = Some(Instant::now());
+    slot.spec = None;
+    st.ledger.on_fail();
+    drop(st);
+    shared.done_cv.notify_all();
+}

@@ -198,6 +198,8 @@ impl Trace {
             Counter::CheckFailures,
             Counter::FaultsInjected,
             Counter::PackBytes,
+            Counter::JobsRetried,
+            Counter::JobsShed,
         ] {
             let v = self.total(c);
             if v != 0 {

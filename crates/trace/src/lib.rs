@@ -74,10 +74,16 @@ pub enum Counter {
     /// mark* (peak simultaneous live bytes), not a sum. Never use [`add`]
     /// with this counter.
     ArenaLiveBytes,
+    /// Job attempts re-executed by the serving layer after a transient
+    /// failure (`tg-serve` retry-with-backoff).
+    JobsRetried,
+    /// Jobs rejected at admission because the service queue was saturated
+    /// (`tg-serve` load shedding).
+    JobsShed,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 12;
+pub const N_COUNTERS: usize = 14;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -93,6 +99,8 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::PackBytes,
         Counter::ArenaLiveBytes,
+        Counter::JobsRetried,
+        Counter::JobsShed,
     ];
 
     fn index(self) -> usize {
@@ -109,6 +117,8 @@ impl Counter {
             Counter::FaultsInjected => 9,
             Counter::PackBytes => 10,
             Counter::ArenaLiveBytes => 11,
+            Counter::JobsRetried => 12,
+            Counter::JobsShed => 13,
         }
     }
 
@@ -127,6 +137,8 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::PackBytes => "pack_bytes",
             Counter::ArenaLiveBytes => "arena_live_bytes",
+            Counter::JobsRetried => "jobs_retried",
+            Counter::JobsShed => "jobs_shed",
         }
     }
 }
@@ -474,6 +486,45 @@ pub fn record_virtual(
     }
 }
 
+/// Records an already-elapsed interval as a completed span on the calling
+/// thread's lane — for durations that can only be measured after the fact,
+/// such as the time a job spent parked in a queue before a worker picked it
+/// up (`tg-serve` emits these with cat `"wait"` so the timeline analyses
+/// separate queue wait from compute). The interval is clipped to the
+/// session epoch; no counters are attributed.
+pub fn record_span(
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<(&'static str, u64)>,
+    start: Instant,
+    end: Instant,
+    region: Option<RegionId>,
+) {
+    if !enabled() {
+        return;
+    }
+    let tid = thread_id();
+    let mut st = lock_unpoisoned(collector());
+    if let Some(epoch) = st.epoch {
+        let ts_us = start.saturating_duration_since(epoch).as_secs_f64() * 1e6;
+        let dur_us = end
+            .saturating_duration_since(start.max(epoch))
+            .as_secs_f64()
+            * 1e6;
+        st.events.push(Event {
+            name,
+            cat,
+            arg,
+            tid,
+            ts_us,
+            dur_us,
+            counters: [0; N_COUNTERS],
+            virtual_time: false,
+            region: region.map(|r| r.0),
+        });
+    }
+}
+
 /// Raises the [`Counter::ArenaLiveBytes`] gauge by `n` bytes and folds the
 /// new current value into the session high-water mark. The peak is kept in
 /// the ordinary totals slot via `fetch_max`, so [`Trace::total`] reports
@@ -658,6 +709,40 @@ mod tests {
         let trace = session.finish();
         assert!(trace.events.is_empty());
         assert_eq!(trace.total(Counter::ArenaLiveBytes), 0);
+    }
+
+    #[test]
+    fn record_span_backdates_within_session() {
+        let _serial = serial();
+        // outside a session: inert
+        record_span(
+            "not.recorded",
+            "wait",
+            None,
+            Instant::now(),
+            Instant::now(),
+            None,
+        );
+        let session = TraceSession::begin();
+        let t0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = Instant::now();
+        record_span("queue.wait", "wait", Some(("job", 3)), t0, t1, None);
+        let trace = session.finish();
+        let e = trace
+            .events
+            .iter()
+            .find(|e| e.name == "queue.wait")
+            .expect("recorded");
+        assert_eq!(e.cat, "wait");
+        assert!(e.dur_us >= 1000.0, "dur {} us", e.dur_us);
+        assert_eq!(e.arg, Some(("job", 3)));
+        // an interval starting before the epoch is clipped, not negative
+        let session = TraceSession::begin();
+        record_span("pre.epoch", "wait", None, t0, Instant::now(), None);
+        let trace = session.finish();
+        let e = trace.events.iter().find(|e| e.name == "pre.epoch").unwrap();
+        assert!(e.ts_us >= 0.0 && e.dur_us >= 0.0);
     }
 
     #[test]
