@@ -29,7 +29,7 @@ use tridiag_core::{Method, WorkspacePool};
 /// Cache key for arena buffers: problems with equal `ShapeClass` request
 /// identical buffer-size sequences from the reduction, so their workspaces
 /// are interchangeable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShapeClass {
     /// Matrix dimension.
     pub n: usize,

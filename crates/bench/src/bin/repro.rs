@@ -18,6 +18,13 @@
 //!                           # rate-mult x measured capacity (default 1.5x):
 //!                           # asserts shedding engages, zero jobs lost,
 //!                           # p99 in-deadline for admitted jobs
+//! repro cache_soak [--ci] [--seconds s] [--n size] [--pool p] [--zipf a] [--trace-out path]
+//!                           # zipf-shaped overload replayed twice — cache
+//!                           # off, then cache+dedup on: asserts hit rate
+//!                           # >= 50%, every result bitwise-identical to
+//!                           # the direct path, the extended conservation
+//!                           # ledger balances, and cache-on p99 strictly
+//!                           # beats cache-off
 //! repro roofline            # arithmetic-intensity placement of key kernels
 //! repro whatif              # hardware-scaling what-if scenarios
 //! repro fig10               # L2 cache-simulation hit rates (layout study)
@@ -95,13 +102,14 @@ fn main() {
             }
         }
         "serve_soak" => serve_soak(&args[1..]),
+        "cache_soak" => cache_soak(&args[1..]),
         "fig10" => fig10(),
         "batch_scaling" => batch_scaling(),
         "model_vs_measured" => model_vs_measured(),
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign [--serve]|serve_soak [--seconds s] [--n size] [--rate-mult x] [--trace-out path]|batch_scaling|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign [--serve]|serve_soak [--seconds s] [--n size] [--rate-mult x] [--trace-out path]|cache_soak [--ci] [--seconds s] [--n size] [--pool p] [--zipf a] [--trace-out path]|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -993,6 +1001,7 @@ fn fault_campaign_serve() {
             max_retries: 3,
             retry_backoff: Duration::from_micros(200),
             serial_fallback: true,
+            ..ServeConfig::default()
         })
         .expect("serve config is valid");
         let ids: Vec<Option<u64>> = problems
@@ -1171,6 +1180,7 @@ fn serve_soak(args: &[String]) {
         max_retries: 2,
         retry_backoff: Duration::from_micros(200),
         serial_fallback: true,
+        ..ServeConfig::default()
     })
     .expect("serve config is valid");
 
@@ -1287,6 +1297,277 @@ fn serve_soak(args: &[String]) {
         std::process::exit(1);
     }
     println!("soak passed: shedding engaged, zero jobs lost, p99 in-deadline");
+}
+
+/// Nightly gate for the content-addressed result cache (`cache_soak`).
+///
+/// Replays the *same* deterministic zipf-shaped schedule twice through the
+/// job service — first with the cache disabled, then with `cache_bytes` +
+/// `dedup` on — at 1.5× measured capacity, so the baseline run is a real
+/// overload and the cached run must absorb it. Gates:
+///
+/// 1. **hit rate ≥ 50%** on the cached run (zipf repeats must actually be
+///    served from the cache);
+/// 2. **bitwise identity**: every completed result in *both* runs equals
+///    the direct `syevd` solve of its input bit for bit — a cache hit, a
+///    coalesced follower, and a miss-path solve are indistinguishable;
+/// 3. **extended conservation**: `shed + completed + failed + cache_hits +
+///    coalesced == submitted` at quiescence in both runs;
+/// 4. **p99 strictly improves** with the cache on.
+fn cache_soak(args: &[String]) {
+    use std::time::{Duration, Instant};
+    use tg_matrix::gen;
+    use tg_serve::{JobService, JobSpec, JobStatus, ServeConfig, SubmitError};
+
+    let mut seconds = 20.0f64;
+    let mut n = 64usize;
+    let mut pool_size = 16usize;
+    let mut zipf_a = 1.2f64;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // Nightly preset; explicit flags after it still override.
+            "--ci" => {
+                seconds = 40.0;
+                pool_size = 24;
+            }
+            "--seconds" => seconds = it.next().and_then(|s| s.parse().ok()).expect("--seconds"),
+            "--n" => n = it.next().and_then(|s| s.parse().ok()).expect("--n"),
+            "--pool" => pool_size = it.next().and_then(|s| s.parse().ok()).expect("--pool"),
+            "--zipf" => zipf_a = it.next().and_then(|s| s.parse().ok()).expect("--zipf"),
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out").clone()),
+            other => {
+                eprintln!("cache_soak: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let method = tg_eigen::EvdMethod::proposed_default(n);
+    let workers = tg_blas::threads::worker_threads();
+
+    // Capacity calibration, exactly as serve_soak does it.
+    let calib = gen::random_symmetric(n, 7);
+    let _ = tg_eigen::syevd(&mut calib.clone(), &method, false).expect("warmup");
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = tg_eigen::syevd(&mut calib.clone(), &method, false).expect("calibration");
+    }
+    let per_solve = t0.elapsed().as_secs_f64() / reps as f64;
+    let capacity_hz = workers as f64 / per_solve;
+    let rate_hz = 1.5 * capacity_hz;
+    let total_jobs = (rate_hz * seconds).ceil().max(32.0) as usize;
+    let queue_cap = (4 * workers).max(8);
+    let deadline = Duration::from_secs_f64(((queue_cap + 2) as f64 * per_solve * 10.0).max(2.0));
+
+    // The popularity-skewed request pool, and the *shared* schedule both
+    // runs replay: pool index per submission, drawn from a zipf(a) CDF
+    // with a fixed-seed splitmix64 stream. Identical inputs in identical
+    // order is what makes the off/on p99 comparison meaningful.
+    let pool: Vec<tg_matrix::Mat> = (0..pool_size)
+        .map(|i| gen::random_symmetric(n, 11_000 + i as u64))
+        .collect();
+    let cdf: Vec<f64> = {
+        let weights: Vec<f64> = (0..pool_size)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(zipf_a))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    };
+    let mut prng_state = 0x5eed_cafe_f00d_0001u64;
+    let mut splitmix = move || {
+        prng_state = prng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = prng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let schedule: Vec<usize> = (0..total_jobs)
+        .map(|_| {
+            let u = (splitmix() >> 11) as f64 / (1u64 << 53) as f64;
+            cdf.iter().position(|&c| u < c).unwrap_or(pool_size - 1)
+        })
+        .collect();
+
+    // Reference results: the direct path, once per distinct input. Every
+    // completed job in both runs must match its reference bit for bit.
+    let reference: Vec<Vec<u64>> = pool
+        .iter()
+        .map(|a| {
+            tg_eigen::syevd(&mut a.clone(), &method, false)
+                .expect("reference solve")
+                .eigenvalues
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+
+    println!(
+        "== cache_soak: n={n}, pool {pool_size} (zipf {zipf_a}), {workers} worker(s), \
+         capacity {capacity_hz:.1} jobs/s, open loop at {rate_hz:.1} jobs/s for \
+         {seconds:.0}s x 2 runs ==",
+    );
+    println!(
+        "queue_cap {queue_cap}, deadline {:.0} ms, {total_jobs} submissions per run",
+        deadline.as_secs_f64() * 1e3
+    );
+
+    // One replay of the schedule. Returns (p99 of completed, ledger,
+    // cache stats, bitwise mismatches vs the reference).
+    let run = |label: &str,
+               cache_bytes: u64,
+               dedup: bool,
+               trace_out: Option<&String>|
+     -> (Duration, tg_serve::Ledger, tg_serve::ServiceStats, u64) {
+        let trace_session = trace_out.map(|_| tg_trace::TraceSession::begin());
+        let svc = JobService::start(ServeConfig {
+            workers,
+            queue_cap,
+            default_deadline: deadline,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(200),
+            serial_fallback: true,
+            cache_bytes,
+            dedup,
+            ..ServeConfig::default()
+        })
+        .expect("serve config is valid");
+        let start = Instant::now();
+        let mut admitted: Vec<(u64, usize)> = Vec::new();
+        for (i, &pi) in schedule.iter().enumerate() {
+            let due = start + Duration::from_secs_f64(i as f64 / rate_hz);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            match svc.submit(JobSpec::new(pool[pi].clone(), method.clone(), false)) {
+                Ok(id) => admitted.push((id, pi)),
+                Err(SubmitError::Overloaded { .. }) => {}
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        if !svc.wait_quiescent(deadline * 2 + Duration::from_secs(30)) {
+            eprintln!("HANG: {label} run did not quiesce after the load stopped");
+            std::process::exit(1);
+        }
+        let mut completed_lat: Vec<Duration> = Vec::new();
+        let mut mismatches = 0u64;
+        for &(id, pi) in &admitted {
+            let out = svc.wait(id);
+            if out.status == JobStatus::Completed {
+                completed_lat.push(out.latency);
+                let evd = out.result.expect("completed job carries its result");
+                let same = evd.eigenvalues.len() == reference[pi].len()
+                    && evd
+                        .eigenvalues
+                        .iter()
+                        .zip(reference[pi].iter())
+                        .all(|(x, &bits)| x.to_bits() == bits);
+                if !same {
+                    mismatches += 1;
+                }
+            }
+        }
+        let stats = svc.shutdown();
+        if let (Some(path), Some(session)) = (trace_out, trace_session) {
+            let trace = session.finish();
+            std::fs::write(path, trace.chrome_json()).expect("write trace");
+            println!("wrote {path}");
+        }
+        completed_lat.sort_unstable();
+        let p99 = completed_lat
+            .get(((completed_lat.len().max(1) - 1) as f64 * 0.99) as usize)
+            .copied()
+            .unwrap_or_default();
+        let l = stats.ledger;
+        println!(
+            "{label}: completed {}, shed {}, failed {}, cache_hits {}, coalesced {}, \
+             p99 {:.1} ms, {} bitwise mismatch(es)",
+            l.completed,
+            l.shed,
+            l.failed,
+            l.cache_hits,
+            l.coalesced,
+            p99.as_secs_f64() * 1e3,
+            mismatches,
+        );
+        (p99, l, stats, mismatches)
+    };
+
+    let (p99_off, l_off, _stats_off, bad_off) = run("cache-off", 0, false, None);
+    let (p99_on, l_on, stats_on, bad_on) =
+        run("cache-on ", 64 * 1024 * 1024, true, trace_out.as_ref());
+
+    let hits = stats_on.cache.hits;
+    let lookups = stats_on.cache.hits + stats_on.cache.misses;
+    let hit_rate = hits as f64 / lookups.max(1) as f64;
+    println!(
+        "cache-on hit rate: {hits}/{lookups} = {:.1}% ({} insertion(s), {} eviction(s), \
+         {} B live)",
+        100.0 * hit_rate,
+        stats_on.cache.insertions,
+        stats_on.cache.evictions,
+        stats_on.cache_live_bytes,
+    );
+
+    let mut bad = false;
+    if hit_rate < 0.5 {
+        eprintln!("FAIL: hit rate {:.1}% < 50%", 100.0 * hit_rate);
+        bad = true;
+    }
+    if bad_off + bad_on > 0 {
+        eprintln!(
+            "FAIL: {bad_off}+{bad_on} completed result(s) differ bitwise from the direct path \
+             — the cache (or the service) returned a wrong answer"
+        );
+        bad = true;
+    }
+    for (label, l) in [("cache-off", &l_off), ("cache-on", &l_on)] {
+        if !l.balanced()
+            || l.shed + l.completed + l.failed + l.cache_hits + l.coalesced != l.submitted
+        {
+            eprintln!("FAIL: {label} ledger lost jobs — {l:?}");
+            bad = true;
+        }
+        if l.submitted != total_jobs as u64 {
+            eprintln!(
+                "FAIL: {label} recorded {} submissions of {total_jobs} sent",
+                l.submitted
+            );
+            bad = true;
+        }
+    }
+    if l_off.cache_hits + l_off.coalesced != 0 {
+        eprintln!("FAIL: baseline run used the cache — it was configured off");
+        bad = true;
+    }
+    if p99_on >= p99_off {
+        eprintln!(
+            "FAIL: cache-on p99 {:.1} ms did not beat cache-off p99 {:.1} ms",
+            p99_on.as_secs_f64() * 1e3,
+            p99_off.as_secs_f64() * 1e3,
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!(
+        "cache soak passed: {:.1}% hits, all results bitwise-identical, both ledgers \
+         conserved, p99 {:.1} ms -> {:.1} ms",
+        100.0 * hit_rate,
+        p99_off.as_secs_f64() * 1e3,
+        p99_on.as_secs_f64() * 1e3,
+    );
 }
 
 fn fig10() {

@@ -5,7 +5,7 @@
 //! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
-//! tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
+//! tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--cache-mb M] [--dedup] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]
 //! tridiag info     <in.mtx>
 //! ```
@@ -38,7 +38,7 @@ fn usage() -> ! {
          tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
-         tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
+         tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--cache-mb M] [--dedup] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag generate <out.mtx> --n N [--kind random|spd|band:B] [--seed S]\n  \
          tridiag info     <in.mtx>"
     );
@@ -64,6 +64,8 @@ struct Opts {
     queue_cap: usize,
     retries: u32,
     rate_hz: f64,
+    cache_mb: u64,
+    dedup: bool,
     trace: Option<String>,
     profile: bool,
     timeline: bool,
@@ -86,6 +88,8 @@ fn parse_opts(args: &[String]) -> Opts {
         queue_cap: 64,
         retries: 2,
         rate_hz: 0.0,
+        cache_mb: 0,
+        dedup: false,
         trace: None,
         profile: false,
         timeline: false,
@@ -153,6 +157,13 @@ fn parse_opts(args: &[String]) -> Opts {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--cache-mb" => {
+                o.cache_mb = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--dedup" => o.dedup = true,
             "--kind" => o.kind = it.next().cloned().unwrap_or_else(|| usage()),
             "--seed" => {
                 o.seed = it
@@ -422,10 +433,18 @@ fn main() {
                 Some(n) => n,
             };
             let method = evd_method(&o.method, n);
+            // With caching or dedup on, cycle a small pool of distinct
+            // matrices so repeats actually occur (otherwise every job is
+            // unique and the cache can only miss).
+            let distinct = if o.cache_mb > 0 || o.dedup {
+                jobs.min(8)
+            } else {
+                jobs
+            };
             let specs: Vec<_> = (0..jobs)
                 .map(|i| {
                     tg_serve::JobSpec::new(
-                        gen::random_symmetric(n, o.seed.wrapping_add(i as u64)),
+                        gen::random_symmetric(n, o.seed.wrapping_add((i % distinct) as u64)),
                         method.clone(),
                         o.vectors,
                     )
@@ -437,6 +456,8 @@ fn main() {
                 queue_cap: o.queue_cap,
                 default_deadline: std::time::Duration::from_millis(o.deadline_ms),
                 max_retries: o.retries,
+                cache_bytes: o.cache_mb * 1024 * 1024,
+                dedup: o.dedup,
                 ..tg_serve::ServeConfig::default()
             };
             let report = with_trace(&o, || {
@@ -465,6 +486,20 @@ fn main() {
                 stats.fallback_completions,
             );
             debug_assert_eq!(l.shed, shed);
+            if o.cache_mb > 0 || o.dedup {
+                eprintln!(
+                    "cache: {} hit(s), {} miss(es), {} coalesced, {} insertion(s), \
+                     {} eviction(s), {} B live / {} B budget ({} distinct inputs)",
+                    l.cache_hits,
+                    stats.cache.misses,
+                    l.coalesced,
+                    stats.cache.insertions,
+                    stats.cache.evictions,
+                    stats.cache_live_bytes,
+                    o.cache_mb * 1024 * 1024,
+                    distinct,
+                );
+            }
             if !latencies.is_empty() {
                 let mut lat = latencies;
                 lat.sort_unstable();

@@ -1,0 +1,175 @@
+//! Content digests over matrix bytes — the keying substrate for
+//! result caching.
+//!
+//! The serving layer caches EVD results by *content*: two requests get the
+//! same cache entry exactly when their input matrices are bitwise-identical
+//! and their solve configurations agree. That is only sound because the
+//! solver stack is bitwise-deterministic end to end (the PR 2/5/7
+//! determinism contracts); the digest's job is to make "bitwise-identical
+//! input" cheap to test.
+//!
+//! [`ContentHasher`] is a streaming hash built from the splitmix64 finalizer
+//! (the same mixer `tg-check`'s fault campaigns use for seed derivation):
+//! every absorbed word passes through the full 3-round avalanche, and the
+//! running state is folded in with a distinct odd constant so word order
+//! matters. It is **not** cryptographic — a hostile client could engineer a
+//! collision — but for dedup/caching of trusted numeric traffic the
+//! 64-bit avalanche mixer's collision odds (~2⁻⁶⁴ per pair) are the same
+//! class of risk as memory corruption, and the cache's debug verify knob
+//! (`tg-serve`) exists to catch exactly such miracles.
+//!
+//! `f64` values are absorbed through [`f64::to_bits`], so `-0.0` and `0.0`
+//! hash differently and NaN payloads are distinguished — "bitwise" means
+//! bitwise, matching the determinism contract the cache relies on.
+
+use crate::Mat;
+
+/// Streaming splitmix64-based content hasher.
+///
+/// ```
+/// use tg_matrix::digest::ContentHasher;
+/// let mut h1 = ContentHasher::new();
+/// h1.write_f64(1.0);
+/// h1.write_u64(7);
+/// let mut h2 = ContentHasher::new();
+/// h2.write_f64(1.0);
+/// h2.write_u64(7);
+/// assert_eq!(h1.finish(), h2.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ContentHasher {
+    state: u64,
+    /// Words absorbed so far; folded into [`finish`](Self::finish) so
+    /// streams that differ only by trailing zero-words do not collide.
+    len: u64,
+}
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher with a fixed, documented initial state (digests are
+    /// stable across runs, hosts, and thread counts).
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            // "tridiag!" as ASCII — an arbitrary non-zero constant so an
+            // empty stream does not digest to mix(0).
+            state: 0x7472_6964_6961_6721,
+            len: 0,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        // Multiply-by-odd keeps the fold bijective in the running state;
+        // the mixed word provides the avalanche.
+        self.state = self
+            .state
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(mix(w));
+        self.len += 1;
+    }
+
+    /// Absorbs one `f64` by bit pattern (`-0.0 != 0.0`, NaN payloads kept).
+    #[inline]
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// Absorbs a slice of `f64`s (length first, then every bit pattern).
+    pub fn write_f64_slice(&mut self, xs: &[f64]) {
+        self.write_u64(xs.len() as u64);
+        for &x in xs {
+            self.write_u64(x.to_bits());
+        }
+    }
+
+    /// The digest of everything absorbed so far (the hasher stays usable).
+    pub fn finish(&self) -> u64 {
+        mix(self.state ^ mix(self.len))
+    }
+}
+
+/// Digest of a dense matrix: shape plus every stored byte, in storage
+/// order. Matrices that differ in any element's bit pattern — or in shape,
+/// even with identical storage — digest differently (up to the 64-bit
+/// collision bound).
+pub fn mat_digest(a: &Mat) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_u64(a.nrows() as u64);
+    h.write_u64(a.ncols() as u64);
+    h.write_f64_slice(a.as_slice());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = Mat::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(mat_digest(&a), mat_digest(&a.clone()));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let a = Mat::from_fn(4, 4, |i, j| 1.0 + (i + j) as f64);
+        let mut b = a.clone();
+        // Flip the lowest mantissa bit of one element.
+        let bits = b[(2, 3)].to_bits() ^ 1;
+        b[(2, 3)] = f64::from_bits(bits);
+        assert_ne!(mat_digest(&a), mat_digest(&b));
+    }
+
+    #[test]
+    fn negative_zero_is_distinguished() {
+        let a = Mat::zeros(3, 3);
+        let mut b = Mat::zeros(3, 3);
+        b[(1, 1)] = -0.0;
+        assert!(b[(1, 1)].to_bits() != 0, "-0.0 must have a sign bit set");
+        assert_ne!(mat_digest(&a), mat_digest(&b));
+    }
+
+    #[test]
+    fn shape_is_part_of_the_digest() {
+        // Same storage bytes (all zero), different shapes.
+        let a = Mat::zeros(2, 8);
+        let b = Mat::zeros(4, 4);
+        assert_ne!(mat_digest(&a), mat_digest(&b));
+    }
+
+    #[test]
+    fn trailing_zeros_do_not_collide() {
+        let mut h1 = ContentHasher::new();
+        h1.write_u64(5);
+        let mut h2 = ContentHasher::new();
+        h2.write_u64(5);
+        h2.write_u64(0);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut h1 = ContentHasher::new();
+        h1.write_u64(1);
+        h1.write_u64(2);
+        let mut h2 = ContentHasher::new();
+        h2.write_u64(2);
+        h2.write_u64(1);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

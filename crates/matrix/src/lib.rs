@@ -20,6 +20,7 @@
 
 pub mod band;
 pub mod dense;
+pub mod digest;
 pub mod gen;
 pub mod io;
 pub mod norms;
@@ -27,6 +28,7 @@ pub mod tridiagonal;
 
 pub use band::{BandLayout, SymBand};
 pub use dense::{Mat, MatMut, MatRef};
+pub use digest::{mat_digest, ContentHasher};
 pub use norms::{
     frob_norm, max_abs_diff, orthogonality_residual, similarity_residual, sym_residual,
     try_similarity_residual, ShapeError,

@@ -94,6 +94,11 @@ pub enum JobStatus {
     Queued,
     /// Claimed by a worker (possibly mid-retry).
     Running,
+    /// Attached as a follower of an identical in-flight job (request
+    /// coalescing, `--dedup`); resolves when the leader does — to
+    /// `Completed` with a clone of the leader's clean result, to
+    /// `Failed`, or by promotion to a run of its own if the leader fails.
+    Coalesced,
     /// Finished with a result (bitwise-identical to the direct
     /// single-problem `syevd` path).
     Completed,
@@ -118,6 +123,7 @@ impl JobStatus {
         match self {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
+            JobStatus::Coalesced => "coalesced",
             JobStatus::Completed => "completed",
             JobStatus::Failed(FailReason::DeadlineExceeded) => "deadline-exceeded",
             JobStatus::Failed(FailReason::Cancelled) => "cancelled",

@@ -16,9 +16,17 @@
 //!   failures (injected faults, non-finite results, solver errors,
 //!   panics), falling back to the serial reference path when the
 //!   leased-arena attempts are exhausted;
+//! * a **content-addressed result cache** ([`EvdCache`]): submissions
+//!   whose matrix bytes and solve configuration hash to a stored clean
+//!   result are answered at admission without a worker solve — sound
+//!   because the whole stack is bitwise-deterministic (`docs/CACHING.md`);
+//! * **in-flight request coalescing** (`dedup`): a submission identical
+//!   to a queued or running job attaches as a follower and receives that
+//!   job's result; a failing leader *promotes* its first live follower
+//!   rather than poisoning it;
 //! * **conservation accounting** ([`Ledger`]): at quiescence,
-//!   `shed + completed + failed == submitted` — no job is ever lost or
-//!   double-counted.
+//!   `shed + completed + failed + cache_hits + coalesced == submitted` —
+//!   no job is ever lost or double-counted.
 //!
 //! Completed results are **bitwise-identical** to the direct
 //! [`tg_eigen::syevd`] path regardless of worker count, queue pressure,
@@ -47,10 +55,12 @@
 //! assert!(stats.ledger.quiescent());
 //! ```
 
+pub mod cache;
 pub mod job;
 pub mod queue;
 pub mod service;
 
+pub use cache::{result_bytes, CacheKey, CacheStats, EvdCache, ENTRY_OVERHEAD};
 pub use job::{render_status_table, FailReason, JobId, JobOutcome, JobSpec, JobStatus, StatusRow};
 pub use queue::{BoundedQueue, Ledger, Priority, QueueFull, Ticket};
 pub use service::{ConfigError, JobService, ServeConfig, ServiceStats, SubmitError};

@@ -130,25 +130,38 @@ impl<T> BoundedQueue<T> {
 
 /// Whole-service conservation accounting.
 ///
-/// Every submitted job ends in exactly one terminal bucket — `completed`,
-/// `failed` (which includes typed deadline/cancel rejections), or `shed` —
-/// and until it does it is counted by `pending` (queued or running). The
-/// invariant `submitted == completed + failed + shed + pending` holds
-/// after every transition, and at quiescence (`pending == 0`) reduces to
-/// the serving contract *shed + completed + failed = submitted*: no job is
-/// ever lost or double-counted.
+/// Every submitted job ends in exactly one terminal bucket — `completed`
+/// (a worker produced its result), `failed` (typed deadline/cancel/
+/// exhausted rejections), `shed`, `cache_hits` (served straight from the
+/// content-addressed result cache at admission), or `coalesced` (attached
+/// to an identical in-flight job and handed its result) — and until it
+/// does it is counted by `pending` (queued, running, or waiting on a
+/// coalescing leader). The invariant `submitted == completed + failed +
+/// shed + cache_hits + coalesced + pending` holds after every transition,
+/// and at quiescence (`pending == 0`) reduces to the serving contract
+/// *shed + completed + failed + cache_hits + coalesced = submitted*: no
+/// job is ever lost or double-counted.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Ledger {
-    /// Jobs offered to the service (admitted or shed).
+    /// Jobs offered to the service (admitted, deduplicated, or shed).
     pub submitted: u64,
-    /// Jobs that produced a result.
+    /// Jobs whose result was computed by a worker (arena path or serial
+    /// fallback).
     pub completed: u64,
     /// Jobs that ended with a typed error (retries exhausted, deadline
     /// exceeded, cancelled).
     pub failed: u64,
     /// Jobs rejected at admission because the queue was full.
     pub shed: u64,
-    /// Admitted jobs not yet terminal (queued or running).
+    /// Jobs answered at admission from the result cache (no worker ran).
+    pub cache_hits: u64,
+    /// Jobs that completed by attaching to an identical in-flight job
+    /// (no worker solve of their own). Followers that instead fail —
+    /// cancelled, deadline, or promoted-then-failed — count under
+    /// `failed`/`completed` like any other job.
+    pub coalesced: u64,
+    /// Admitted jobs not yet terminal (queued, running, or following an
+    /// in-flight leader).
     pub pending: u64,
 }
 
@@ -157,7 +170,13 @@ impl Ledger {
     /// state transition and the property battery asserts it after every
     /// step of every generated schedule.
     pub fn balanced(&self) -> bool {
-        self.submitted == self.completed + self.failed + self.shed + self.pending
+        self.submitted
+            == self.completed
+                + self.failed
+                + self.shed
+                + self.cache_hits
+                + self.coalesced
+                + self.pending
     }
 
     /// True when every submitted job has reached a terminal state.
@@ -186,6 +205,29 @@ impl Ledger {
     pub(crate) fn on_fail(&mut self) {
         self.pending -= 1;
         self.failed += 1;
+        debug_assert!(self.balanced());
+    }
+
+    /// A submission answered from the result cache: terminal immediately,
+    /// never pending.
+    pub(crate) fn on_cache_hit(&mut self) {
+        self.submitted += 1;
+        self.cache_hits += 1;
+        debug_assert!(self.balanced());
+    }
+
+    /// A submission attached as a follower of an in-flight leader; it
+    /// stays `pending` until the leader resolves it.
+    pub(crate) fn on_coalesce_attach(&mut self) {
+        self.submitted += 1;
+        self.pending += 1;
+        debug_assert!(self.balanced());
+    }
+
+    /// A follower handed its leader's clean result.
+    pub(crate) fn on_coalesce_complete(&mut self) {
+        self.pending -= 1;
+        self.coalesced += 1;
         debug_assert!(self.balanced());
     }
 }
@@ -252,5 +294,30 @@ mod tests {
         assert!(l.balanced());
         assert!(l.quiescent());
         assert_eq!((l.submitted, l.completed, l.failed, l.shed), (3, 1, 1, 1));
+    }
+
+    #[test]
+    fn ledger_conservation_with_cache_buckets() {
+        let mut l = Ledger::default();
+        l.on_admit(); // the leader
+        l.on_cache_hit();
+        l.on_coalesce_attach();
+        l.on_coalesce_attach();
+        assert!(!l.quiescent());
+        l.on_complete(); // leader finishes...
+        l.on_coalesce_complete(); // ...one follower gets the result...
+        l.on_fail(); // ...the other was cancelled meanwhile
+        assert!(l.balanced());
+        assert!(l.quiescent());
+        assert_eq!(
+            (
+                l.submitted,
+                l.completed,
+                l.cache_hits,
+                l.coalesced,
+                l.failed
+            ),
+            (4, 1, 1, 1, 1)
+        );
     }
 }

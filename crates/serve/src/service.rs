@@ -35,6 +35,7 @@
 //! worker count, shedding, and retries decide *whether and when* a job
 //! completes — never what its result contains.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -44,6 +45,7 @@ use tg_batch::{CancelToken, ShapeClass, WorkspaceArena};
 use tg_blas::threads::ThreadsConfigError;
 use tg_eigen::{syevd, Evd};
 
+use crate::cache::{CacheKey, CacheStats, EvdCache};
 use crate::job::{FailReason, JobId, JobOutcome, JobSpec, JobStatus, StatusRow};
 use crate::queue::{BoundedQueue, Ledger, Priority, Ticket};
 
@@ -69,6 +71,20 @@ pub struct ServeConfig {
     /// After exhausting retries, make one final attempt through the
     /// serial reference path (plain `syevd`, fresh allocations).
     pub serial_fallback: bool,
+    /// Byte budget for the content-addressed result cache (`0` disables
+    /// caching). Sound because completed results are bitwise-deterministic
+    /// — see `docs/CACHING.md`.
+    pub cache_bytes: u64,
+    /// Enables in-flight request coalescing: a submission whose content
+    /// key matches a queued or running job attaches as a follower and
+    /// receives that job's result instead of entering the worker queue.
+    /// Independent of `cache_bytes` (dedup needs no storage).
+    pub dedup: bool,
+    /// Debug knob: re-solve on every cache hit through the direct
+    /// reference path and panic unless the stored result is bitwise
+    /// identical. Also enabled by `TG_CACHE_VERIFY=1`. Turns O(1) hits
+    /// into full solves — for tests and soak gates only.
+    pub verify_hits: bool,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +96,9 @@ impl Default for ServeConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(1),
             serial_fallback: true,
+            cache_bytes: 0,
+            dedup: false,
+            verify_hits: false,
         }
     }
 }
@@ -150,6 +169,12 @@ pub struct ServiceStats {
     pub retries: u64,
     /// Jobs that ended via the serial-reference fallback.
     pub fallback_completions: u64,
+    /// Result-cache lifetime counters (all zero when caching is off).
+    pub cache: CacheStats,
+    /// Bytes currently held by the result cache.
+    pub cache_live_bytes: u64,
+    /// Entries currently held by the result cache.
+    pub cache_entries: u64,
 }
 
 struct JobSlot {
@@ -164,6 +189,12 @@ struct JobSlot {
     finished_at: Option<Instant>,
     attempts: u32,
     result: Option<Evd>,
+    /// Content key, kept while the job can still interact with the cache
+    /// or the in-flight index (cleared at terminal transitions).
+    cache_key: Option<CacheKey>,
+    /// Followers coalesced onto this job (ids into `jobs`), resolved when
+    /// this job reaches a terminal state.
+    followers: Vec<JobId>,
 }
 
 struct State {
@@ -172,6 +203,10 @@ struct State {
     ledger: Ledger,
     retries: u64,
     fallback_completions: u64,
+    cache: EvdCache,
+    /// Content key → id of the queued/running/coalescing leader for that
+    /// key. At most one leader per key exists at any time.
+    inflight: HashMap<CacheKey, JobId>,
     shutdown: bool,
 }
 
@@ -181,6 +216,11 @@ struct Shared {
     retry_backoff: Duration,
     serial_fallback: bool,
     default_deadline: Duration,
+    /// Cache/dedup switches, hoisted out of `State` so `submit` can skip
+    /// key derivation (an `O(n²)` hash) without taking the lock.
+    cache_enabled: bool,
+    dedup: bool,
+    verify_hits: bool,
     state: Mutex<State>,
     /// Workers park here when the queue is empty.
     work_cv: Condvar,
@@ -217,18 +257,25 @@ impl JobService {
         if cfg.default_deadline.is_zero() {
             return Err(ConfigError::ZeroDeadline);
         }
+        let verify_hits = cfg.verify_hits
+            || std::env::var("TG_CACHE_VERIFY").is_ok_and(|v| v == "1" || v == "true");
         let shared = Arc::new(Shared {
             workers,
             max_retries: cfg.max_retries,
             retry_backoff: cfg.retry_backoff,
             serial_fallback: cfg.serial_fallback,
             default_deadline: cfg.default_deadline,
+            cache_enabled: cfg.cache_bytes > 0,
+            dedup: cfg.dedup,
+            verify_hits,
             state: Mutex::new(State {
                 queue: BoundedQueue::new(cfg.queue_cap),
                 jobs: Vec::new(),
                 ledger: Ledger::default(),
                 retries: 0,
                 fallback_completions: 0,
+                cache: EvdCache::new(cfg.cache_bytes),
+                inflight: HashMap::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -251,8 +298,22 @@ impl JobService {
         self.shared.workers
     }
 
-    /// Admits `spec` or sheds it with a typed rejection. Never blocks.
+    /// Admission: cache lookup → in-flight coalescing → enqueue (or shed
+    /// with a typed rejection). Never blocks on worker progress — a cache
+    /// hit costs the `O(n²)` content hash, a miss additionally a map
+    /// probe. (The debug verify knob re-solves on hits; see
+    /// [`ServeConfig::verify_hits`].)
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        // Derive the content key *outside* the state lock: hashing the
+        // matrix bytes is O(n²) and must not serialize other submitters
+        // or the workers. The span covers derivation + the in-lock probe,
+        // so `--profile`/`--timeline` show the true cost of admission.
+        let lookup_span = (self.shared.cache_enabled || self.shared.dedup)
+            .then(|| tg_trace::span_cat("serve.cache.lookup", "stage", None));
+        let key = lookup_span
+            .as_ref()
+            .map(|_| CacheKey::derive(&spec.matrix, &spec.method, spec.want_vectors));
+
         let mut st = lock_state(&self.shared);
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -261,6 +322,86 @@ impl JobService {
         let priority = spec.priority;
         let deadline = spec.deadline.unwrap_or(self.shared.default_deadline);
         let now = Instant::now();
+
+        // 1. Content-addressed cache hit: terminal at admission, no
+        //    worker involvement. Sound because stored results come only
+        //    from clean attempts and the stack is bitwise-deterministic.
+        if self.shared.cache_enabled {
+            if let Some(k) = key {
+                if let Some(evd) = st.cache.lookup(&k) {
+                    let verify = self.shared.verify_hits.then(|| evd.clone());
+                    st.jobs.push(JobSlot {
+                        spec: None,
+                        status: JobStatus::Completed,
+                        priority,
+                        deadline,
+                        ticket: None,
+                        cancel: CancelToken::new(),
+                        submitted_at: now,
+                        queue_wait: None,
+                        finished_at: Some(now),
+                        attempts: 0,
+                        result: Some(evd),
+                        cache_key: None,
+                        followers: Vec::new(),
+                    });
+                    st.ledger.on_cache_hit();
+                    drop(st);
+                    tg_trace::add(tg_trace::Counter::CacheHit, 1);
+                    drop(lookup_span);
+                    if let Some(expected) = verify {
+                        verify_cached_hit(&spec, &expected);
+                    }
+                    self.shared.done_cv.notify_all();
+                    return Ok(id);
+                }
+            }
+        }
+
+        // 2. In-flight coalescing: an identical queued/running job is
+        //    already going to compute this exact result — attach as a
+        //    follower instead of entering the worker queue. The follower
+        //    keeps its own deadline and CancelToken; it is checked
+        //    against both when the leader resolves it (and promoted to a
+        //    run of its own if the leader fails).
+        if self.shared.dedup {
+            if let Some(k) = key {
+                if let Some(&leader) = st.inflight.get(&k) {
+                    debug_assert!(
+                        !st.jobs[leader as usize].status.is_terminal(),
+                        "in-flight index pointed at a terminal job"
+                    );
+                    st.jobs.push(JobSlot {
+                        spec: Some(spec),
+                        status: JobStatus::Coalesced,
+                        priority,
+                        deadline,
+                        ticket: None,
+                        cancel: CancelToken::new(),
+                        submitted_at: now,
+                        queue_wait: None,
+                        finished_at: None,
+                        attempts: 0,
+                        result: None,
+                        cache_key: Some(k),
+                        followers: Vec::new(),
+                    });
+                    st.jobs[leader as usize].followers.push(id);
+                    st.ledger.on_coalesce_attach();
+                    drop(st);
+                    tg_trace::add(tg_trace::Counter::JobsCoalesced, 1);
+                    return Ok(id);
+                }
+            }
+        }
+        if self.shared.cache_enabled {
+            // Neither stored nor in flight: a genuine miss (counted even
+            // if the queue then sheds it — the lookup really happened).
+            tg_trace::add(tg_trace::Counter::CacheMiss, 1);
+        }
+        drop(lookup_span);
+
+        // 3. Regular admission or shedding.
         match st.queue.admit(priority, id) {
             Ok(ticket) => {
                 st.jobs.push(JobSlot {
@@ -275,7 +416,14 @@ impl JobService {
                     finished_at: None,
                     attempts: 0,
                     result: None,
+                    cache_key: key,
+                    followers: Vec::new(),
                 });
+                if self.shared.dedup {
+                    if let Some(k) = key {
+                        st.inflight.insert(k, id);
+                    }
+                }
                 st.ledger.on_admit();
                 drop(st);
                 self.shared.work_cv.notify_one();
@@ -294,6 +442,8 @@ impl JobService {
                     finished_at: Some(now),
                     attempts: 0,
                     result: None,
+                    cache_key: None,
+                    followers: Vec::new(),
                 });
                 st.ledger.on_shed();
                 let queue_len = st.queue.len();
@@ -310,9 +460,10 @@ impl JobService {
     }
 
     /// Cancels a job. Queued jobs are removed immediately (terminal
-    /// status `cancelled`); running jobs are cancelled cooperatively at
-    /// their next retry boundary. Returns `false` when the job was
-    /// already terminal (or the id unknown).
+    /// status `cancelled`; any coalesced followers are promoted, never
+    /// poisoned); running jobs — and coalesced followers — are cancelled
+    /// cooperatively at the next resolution boundary. Returns `false`
+    /// when the job was already terminal (or the id unknown).
     pub fn cancel(&self, id: JobId) -> bool {
         let mut st = lock_state(&self.shared);
         let Some(slot) = st.jobs.get(id as usize) else {
@@ -326,18 +477,20 @@ impl JobService {
                 let ticket = slot.ticket.expect("checked above");
                 let removed = st.queue.remove(ticket);
                 debug_assert_eq!(removed, Some(id));
-                let now = Instant::now();
-                let slot = &mut st.jobs[id as usize];
-                slot.status = JobStatus::Failed(FailReason::Cancelled);
-                slot.finished_at = Some(now);
-                slot.ticket = None;
-                slot.spec = None;
-                st.ledger.on_fail();
-                drop(st);
-                self.shared.done_cv.notify_all();
+                st.jobs[id as usize].ticket = None;
+                // The queue slot just vacated guarantees room to requeue
+                // a promoted follower under this same critical section.
+                let promoted = fail_job(
+                    &self.shared,
+                    st,
+                    id,
+                    FailReason::Cancelled,
+                    PromotionMode::Requeue,
+                );
+                debug_assert!(promoted.is_none(), "requeue mode never hands back a job");
                 true
             }
-            JobStatus::Queued | JobStatus::Running => {
+            JobStatus::Queued | JobStatus::Running | JobStatus::Coalesced => {
                 slot.cancel.cancel();
                 true
             }
@@ -398,13 +551,16 @@ impl JobService {
         true
     }
 
-    /// Snapshot of the conservation ledger and retry counters.
+    /// Snapshot of the conservation ledger, retry, and cache counters.
     pub fn stats(&self) -> ServiceStats {
         let st = lock_state(&self.shared);
         ServiceStats {
             ledger: st.ledger,
             retries: st.retries,
             fallback_completions: st.fallback_completions,
+            cache: st.cache.stats(),
+            cache_live_bytes: st.cache.live_bytes(),
+            cache_entries: st.cache.entries() as u64,
         }
     }
 
@@ -480,7 +636,14 @@ fn worker_loop(shared: Arc<Shared>, widx: usize) {
             }
         };
         match claimed {
-            Some(id) => process_job(&shared, id, &mut arena),
+            Some(id) => {
+                // A failing leader promotes its first live follower, which
+                // this worker then runs directly (it was never queued).
+                let mut next = Some(id);
+                while let Some(id) = next {
+                    next = process_job(&shared, id, &mut arena);
+                }
+            }
             None => return,
         }
     }
@@ -551,7 +714,10 @@ where
     }
 }
 
-fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
+/// Runs one job to a terminal state. Returns the id of a follower
+/// promoted by a failing leader, which the calling worker must run next
+/// (promoted followers are never in the queue).
+fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) -> Option<JobId> {
     // Claim the slot: record queue wait, honour cancel/deadline that
     // arrived while queued, and pull what the attempts need.
     let (spec, cancel, submitted_at, deadline) = {
@@ -569,10 +735,22 @@ fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
             None,
         );
         if slot.cancel.is_cancelled() {
-            return finish_failed(shared, st, id, FailReason::Cancelled);
+            return fail_job(
+                shared,
+                st,
+                id,
+                FailReason::Cancelled,
+                PromotionMode::RunNext,
+            );
         }
         if now.duration_since(slot.submitted_at) > slot.deadline {
-            return finish_failed(shared, st, id, FailReason::DeadlineExceeded);
+            return fail_job(
+                shared,
+                st,
+                id,
+                FailReason::DeadlineExceeded,
+                PromotionMode::RunNext,
+            );
         }
         slot.status = JobStatus::Running;
         let spec = slot.spec.clone().expect("running job keeps its spec");
@@ -591,15 +769,33 @@ fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
     // Leased-arena attempts: 1 + max_retries.
     while attempts < 1 + shared.max_retries {
         if cancel.is_cancelled() {
-            return finish_failed(shared, lock_state(shared), id, FailReason::Cancelled);
+            return fail_job(
+                shared,
+                lock_state(shared),
+                id,
+                FailReason::Cancelled,
+                PromotionMode::RunNext,
+            );
         }
         if Instant::now() > hard_deadline {
-            return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+            return fail_job(
+                shared,
+                lock_state(shared),
+                id,
+                FailReason::DeadlineExceeded,
+                PromotionMode::RunNext,
+            );
         }
         if attempts > 0 {
             count_retry(shared);
             if !backoff(shared, attempts - 1, hard_deadline) {
-                return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+                return fail_job(
+                    shared,
+                    lock_state(shared),
+                    id,
+                    FailReason::DeadlineExceeded,
+                    PromotionMode::RunNext,
+                );
             }
         }
         attempts += 1;
@@ -618,7 +814,9 @@ fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
                 // Nothing the failed attempt touched may survive into the
                 // next one: drop the cached (possibly fault-corrupted)
                 // buffers. The lease guard already repaired the live-byte
-                // accounting if the attempt unwound mid-flight.
+                // accounting if the attempt unwound mid-flight. (And
+                // nothing reaches the result cache from here — only
+                // `finish_completed`, i.e. a clean attempt, inserts.)
                 arena.scrub();
                 last_error = Some(e);
             }
@@ -628,14 +826,32 @@ fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
     // Serial reference fallback: the direct path, fresh allocations.
     if shared.serial_fallback {
         if cancel.is_cancelled() {
-            return finish_failed(shared, lock_state(shared), id, FailReason::Cancelled);
+            return fail_job(
+                shared,
+                lock_state(shared),
+                id,
+                FailReason::Cancelled,
+                PromotionMode::RunNext,
+            );
         }
         if Instant::now() > hard_deadline {
-            return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+            return fail_job(
+                shared,
+                lock_state(shared),
+                id,
+                FailReason::DeadlineExceeded,
+                PromotionMode::RunNext,
+            );
         }
         count_retry(shared);
         if !backoff(shared, shared.max_retries, hard_deadline) {
-            return finish_failed(shared, lock_state(shared), id, FailReason::DeadlineExceeded);
+            return fail_job(
+                shared,
+                lock_state(shared),
+                id,
+                FailReason::DeadlineExceeded,
+                PromotionMode::RunNext,
+            );
         }
         attempts += 1;
         let outcome = {
@@ -652,7 +868,7 @@ fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
     }
 
     let last = last_error.map(|e| e.to_string()).unwrap_or_default();
-    finish_failed(
+    fail_job(
         shared,
         lock_state(shared),
         id,
@@ -660,6 +876,44 @@ fn process_job(shared: &Shared, id: JobId, arena: &mut WorkspaceArena) {
             attempts,
             last_error: last,
         },
+        PromotionMode::RunNext,
+    )
+}
+
+/// Debug-mode hit validation ([`ServeConfig::verify_hits`] /
+/// `TG_CACHE_VERIFY=1`): re-solve the submission through the direct
+/// reference path and panic unless the cached result is **bitwise**
+/// identical — the exact property that makes content-addressed caching
+/// sound. Runs outside the state lock (it is a full solve).
+fn verify_cached_hit(spec: &JobSpec, expected: &Evd) {
+    let mut a = spec.matrix.clone();
+    let fresh = syevd(&mut a, &spec.method, spec.want_vectors)
+        .expect("verify_hits: reference re-solve failed on a cached input");
+    let values_match = fresh.eigenvalues.len() == expected.eigenvalues.len()
+        && fresh
+            .eigenvalues
+            .iter()
+            .zip(expected.eigenvalues.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let vectors_match = match (&fresh.eigenvectors, &expected.eigenvectors) {
+        (None, None) => true,
+        (Some(f), Some(e)) => {
+            f.nrows() == e.nrows()
+                && f.ncols() == e.ncols()
+                && f.as_slice()
+                    .iter()
+                    .zip(e.as_slice().iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        _ => false,
+    };
+    assert!(
+        values_match && vectors_match,
+        "TG_CACHE_VERIFY: cached EVD is not bitwise-identical to a fresh \
+         reference solve (n={}, values_match={values_match}, \
+         vectors_match={vectors_match}) — the determinism contract the \
+         cache relies on is broken",
+        spec.matrix.nrows()
     );
 }
 
@@ -686,28 +940,156 @@ fn backoff(shared: &Shared, k: u32, hard_deadline: Instant) -> bool {
     true
 }
 
-fn finish_completed(shared: &Shared, id: JobId, attempts: u32, evd: Evd, via_fallback: bool) {
+/// A worker produced a clean result for job `id`: complete it, hand
+/// clones to every live follower, and — this being the only path a result
+/// can take into the cache — insert it. `classify` already guaranteed the
+/// attempt was clean (no fired fault, finite, no error, no panic), so
+/// nothing mid-retry can ever be stored; fallback results are cacheable
+/// because the serial reference path is bitwise-identical by contract.
+/// Returns `None` (completion never promotes anything).
+fn finish_completed(
+    shared: &Shared,
+    id: JobId,
+    attempts: u32,
+    evd: Evd,
+    via_fallback: bool,
+) -> Option<JobId> {
     let mut st = lock_state(shared);
-    let slot = &mut st.jobs[id as usize];
-    slot.status = JobStatus::Completed;
-    slot.attempts = attempts;
-    slot.result = Some(evd);
-    slot.finished_at = Some(Instant::now());
-    slot.spec = None;
+    let now = Instant::now();
+    let (key, followers) = {
+        let slot = &mut st.jobs[id as usize];
+        slot.status = JobStatus::Completed;
+        slot.attempts = attempts;
+        slot.finished_at = Some(now);
+        slot.spec = None;
+        (slot.cache_key.take(), std::mem::take(&mut slot.followers))
+    };
     st.ledger.on_complete();
     if via_fallback {
         st.fallback_completions += 1;
     }
+    // Followers ride the same clean result — each still honours its own
+    // cancellation and deadline at this resolution point.
+    for f in followers {
+        let fslot = &mut st.jobs[f as usize];
+        debug_assert_eq!(fslot.status, JobStatus::Coalesced);
+        fslot.finished_at = Some(now);
+        fslot.spec = None;
+        if fslot.cancel.is_cancelled() {
+            fslot.status = JobStatus::Failed(FailReason::Cancelled);
+            st.ledger.on_fail();
+        } else if now.duration_since(fslot.submitted_at) > fslot.deadline {
+            fslot.status = JobStatus::Failed(FailReason::DeadlineExceeded);
+            st.ledger.on_fail();
+        } else {
+            fslot.status = JobStatus::Completed;
+            fslot.result = Some(evd.clone());
+            st.ledger.on_coalesce_complete();
+        }
+    }
+    if let Some(k) = key {
+        if st.inflight.get(&k) == Some(&id) {
+            st.inflight.remove(&k);
+        }
+        if st.cache.enabled() {
+            let evicted = st.cache.insert(k, &evd);
+            if evicted > 0 {
+                tg_trace::add(tg_trace::Counter::CacheEvictedBytes, evicted);
+            }
+        }
+    }
+    st.jobs[id as usize].result = Some(evd);
     drop(st);
     shared.done_cv.notify_all();
+    None
 }
 
-fn finish_failed(shared: &Shared, mut st: MutexGuard<'_, State>, id: JobId, reason: FailReason) {
-    let slot = &mut st.jobs[id as usize];
-    slot.status = JobStatus::Failed(reason);
-    slot.finished_at = Some(Instant::now());
-    slot.spec = None;
+/// How [`fail_job`] hands a promoted follower onward.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PromotionMode {
+    /// Caller is a worker: return the promoted follower's id so the
+    /// worker runs it directly (it was never queued).
+    RunNext,
+    /// Caller holds no worker thread (the queued-cancel path): re-admit
+    /// the promoted follower into the queue slot the leader just vacated.
+    Requeue,
+}
+
+/// Fails job `id` with `reason` and triages its followers: followers
+/// whose own cancel/deadline already expired fail with *their* reason,
+/// and the first live follower is promoted to take over the content key
+/// (leader failure never poisons followers). Returns the promoted id in
+/// [`PromotionMode::RunNext`].
+fn fail_job(
+    shared: &Shared,
+    mut st: MutexGuard<'_, State>,
+    id: JobId,
+    reason: FailReason,
+    mode: PromotionMode,
+) -> Option<JobId> {
+    let now = Instant::now();
+    let (key, followers) = {
+        let slot = &mut st.jobs[id as usize];
+        slot.status = JobStatus::Failed(reason);
+        slot.finished_at = Some(now);
+        slot.spec = None;
+        (slot.cache_key.take(), std::mem::take(&mut slot.followers))
+    };
     st.ledger.on_fail();
+    if let Some(k) = key {
+        if st.inflight.get(&k) == Some(&id) {
+            st.inflight.remove(&k);
+        }
+    }
+    let mut promoted: Option<JobId> = None;
+    let mut rest: Vec<JobId> = Vec::new();
+    for f in followers {
+        let fslot = &mut st.jobs[f as usize];
+        debug_assert_eq!(fslot.status, JobStatus::Coalesced);
+        if fslot.cancel.is_cancelled() {
+            fslot.status = JobStatus::Failed(FailReason::Cancelled);
+            fslot.finished_at = Some(now);
+            fslot.spec = None;
+            st.ledger.on_fail();
+        } else if now.duration_since(fslot.submitted_at) > fslot.deadline {
+            fslot.status = JobStatus::Failed(FailReason::DeadlineExceeded);
+            fslot.finished_at = Some(now);
+            fslot.spec = None;
+            st.ledger.on_fail();
+        } else if promoted.is_none() {
+            promoted = Some(f);
+        } else {
+            rest.push(f);
+        }
+    }
+    if let Some(p) = promoted {
+        st.jobs[p as usize].followers = rest;
+        if let Some(k) = key {
+            st.inflight.insert(k, p);
+        }
+        match mode {
+            PromotionMode::RunNext => {
+                drop(st);
+                shared.done_cv.notify_all();
+                return Some(p);
+            }
+            PromotionMode::Requeue => {
+                let priority = st.jobs[p as usize].priority;
+                let ticket = st
+                    .queue
+                    .admit(priority, p)
+                    .expect("the failed leader's queue slot was vacated under this lock");
+                let pslot = &mut st.jobs[p as usize];
+                pslot.ticket = Some(ticket);
+                pslot.status = JobStatus::Queued;
+                drop(st);
+                shared.work_cv.notify_one();
+                shared.done_cv.notify_all();
+                return None;
+            }
+        }
+    }
     drop(st);
     shared.done_cv.notify_all();
+    None
 }

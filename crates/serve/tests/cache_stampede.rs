@@ -1,0 +1,201 @@
+//! Stampede behaviour: many submitters, one identical problem.
+//!
+//! With dedup + caching on, N concurrent submissions of the same matrix
+//! must cost **one** worker solve: the first becomes the leader, the rest
+//! either attach as coalescing followers (leader still in flight) or hit
+//! the cache (leader already finished). Every returned result is bitwise
+//! identical, and a follower cancelling mid-flight fails alone — it never
+//! poisons the leader, the other followers, or the stored result.
+
+use std::time::Duration;
+
+use tg_eigen::EvdMethod;
+use tg_matrix::gen;
+use tg_serve::{FailReason, JobService, JobSpec, JobStatus, ServeConfig};
+
+fn cfg(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_cap: 256,
+        cache_bytes: 8 * 1024 * 1024,
+        dedup: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn assert_bits_equal(evd: &tg_eigen::Evd, reference: &tg_eigen::Evd) {
+    assert_eq!(evd.eigenvalues.len(), reference.eigenvalues.len());
+    for (x, y) in evd.eigenvalues.iter().zip(reference.eigenvalues.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "eigenvalues differ bitwise");
+    }
+}
+
+/// N threads race to submit the same matrix: exactly one worker solve,
+/// N-1 submissions served by coalescing or the cache, all bitwise equal.
+#[test]
+fn concurrent_identical_submissions_solve_once() {
+    const N: usize = 16;
+    let n = 20;
+    let method = EvdMethod::proposed_default(n);
+    let a = gen::random_symmetric(n, 4242);
+    let reference = tg_eigen::syevd(&mut a.clone(), &method, false).unwrap();
+
+    let svc = JobService::start(cfg(2)).unwrap();
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let (svc, a, method) = (&svc, &a, &method);
+                scope.spawn(move || {
+                    svc.submit(JobSpec::new(a.clone(), method.clone(), false))
+                        .expect("queue_cap 256 never sheds 16 submissions")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for id in ids {
+        let out = svc.wait(id);
+        assert_eq!(
+            out.status,
+            JobStatus::Completed,
+            "job {id} did not complete"
+        );
+        assert_bits_equal(out.result.as_ref().unwrap(), &reference);
+    }
+    let stats = svc.shutdown();
+    let l = stats.ledger;
+    assert_eq!(
+        l.completed, 1,
+        "N identical submissions must cost exactly one worker solve (ledger {l:?})"
+    );
+    assert_eq!(
+        l.cache_hits + l.coalesced,
+        (N - 1) as u64,
+        "everyone else is served by the cache or by coalescing (ledger {l:?})"
+    );
+    assert!(l.balanced());
+    assert!(l.quiescent());
+}
+
+/// A follower cancelling itself fails with `Cancelled` while the leader
+/// and the remaining follower still complete with the clean result.
+#[test]
+fn cancelled_follower_does_not_poison_the_others() {
+    let n = 20;
+    let method = EvdMethod::proposed_default(n);
+    let a = gen::random_symmetric(n, 555);
+    let reference = tg_eigen::syevd(&mut a.clone(), &method, false).unwrap();
+
+    // One worker + a slow blocker keeps the leader queued while the
+    // followers attach and one of them cancels.
+    let svc = JobService::start(cfg(1)).unwrap();
+    let blocker_mat = gen::random_symmetric(96, 556);
+    let blocker = svc
+        .submit(JobSpec::new(
+            blocker_mat,
+            EvdMethod::proposed_default(96),
+            true,
+        ))
+        .unwrap();
+    let leader = svc
+        .submit(JobSpec::new(a.clone(), method.clone(), false))
+        .unwrap();
+    let f1 = svc
+        .submit(JobSpec::new(a.clone(), method.clone(), false))
+        .unwrap();
+    let f2 = svc
+        .submit(JobSpec::new(a.clone(), method.clone(), false))
+        .unwrap();
+    assert!(
+        svc.cancel(f1),
+        "follower was already terminal before cancel"
+    );
+
+    assert!(svc.wait_quiescent(Duration::from_secs(60)));
+    assert_eq!(svc.wait(blocker).status, JobStatus::Completed);
+
+    let out_leader = svc.wait(leader);
+    let out_f1 = svc.wait(f1);
+    let out_f2 = svc.wait(f2);
+    assert_eq!(
+        out_f1.status,
+        JobStatus::Failed(FailReason::Cancelled),
+        "the cancelled follower fails with its own reason"
+    );
+    assert!(out_f1.result.is_none());
+    // The leader may have been claimed before the followers attached (a
+    // benign race); in every interleaving it completes cleanly and the
+    // surviving follower gets the same bytes.
+    assert_eq!(out_leader.status, JobStatus::Completed);
+    assert_eq!(out_f2.status, JobStatus::Completed);
+    assert_bits_equal(out_leader.result.as_ref().unwrap(), &reference);
+    assert_bits_equal(out_f2.result.as_ref().unwrap(), &reference);
+
+    let stats = svc.shutdown();
+    assert!(stats.ledger.balanced());
+    assert!(stats.ledger.quiescent());
+}
+
+/// Cancelling the *leader* while it is still queued promotes the first
+/// live follower: the work is not lost, the remaining follower rides the
+/// promoted job, and only the cancelled leader fails.
+#[test]
+fn cancelled_queued_leader_promotes_a_follower() {
+    let n = 20;
+    let method = EvdMethod::proposed_default(n);
+    let a = gen::random_symmetric(n, 777);
+    let reference = tg_eigen::syevd(&mut a.clone(), &method, false).unwrap();
+
+    let svc = JobService::start(cfg(1)).unwrap();
+    let blocker_mat = gen::random_symmetric(96, 778);
+    let blocker = svc
+        .submit(JobSpec::new(
+            blocker_mat,
+            EvdMethod::proposed_default(96),
+            true,
+        ))
+        .unwrap();
+    let leader = svc
+        .submit(JobSpec::new(a.clone(), method.clone(), false))
+        .unwrap();
+    let f1 = svc
+        .submit(JobSpec::new(a.clone(), method.clone(), false))
+        .unwrap();
+    let f2 = svc
+        .submit(JobSpec::new(a.clone(), method.clone(), false))
+        .unwrap();
+    svc.cancel(leader);
+
+    assert!(svc.wait_quiescent(Duration::from_secs(60)));
+    assert_eq!(svc.wait(blocker).status, JobStatus::Completed);
+
+    let out_leader = svc.wait(leader);
+    let out_f1 = svc.wait(f1);
+    let out_f2 = svc.wait(f2);
+    match out_leader.status {
+        JobStatus::Failed(FailReason::Cancelled) => {
+            // The canonical interleaving: the worker was still on the
+            // blocker, the queued leader died, and a follower took over.
+            assert_eq!(out_f1.status, JobStatus::Completed);
+            assert!(
+                out_f1.attempts >= 1 || out_f2.attempts >= 1,
+                "someone actually ran the promoted solve"
+            );
+        }
+        // Benign race: the worker claimed the leader before the cancel
+        // landed and the cooperative check only fires at attempt
+        // boundaries, so the solve may already have finished cleanly.
+        JobStatus::Completed => {}
+        other => panic!("leader ended in unexpected state {other:?}"),
+    }
+    assert_eq!(out_f2.status, JobStatus::Completed);
+    if let Some(evd) = out_f1.result.as_ref() {
+        assert_bits_equal(evd, &reference);
+    }
+    assert_bits_equal(out_f2.result.as_ref().unwrap(), &reference);
+
+    let stats = svc.shutdown();
+    assert!(stats.ledger.balanced());
+    assert!(stats.ledger.quiescent());
+}

@@ -200,6 +200,10 @@ impl Trace {
             Counter::PackBytes,
             Counter::JobsRetried,
             Counter::JobsShed,
+            Counter::CacheHit,
+            Counter::CacheMiss,
+            Counter::CacheEvictedBytes,
+            Counter::JobsCoalesced,
         ] {
             let v = self.total(c);
             if v != 0 {

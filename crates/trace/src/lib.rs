@@ -80,10 +80,21 @@ pub enum Counter {
     /// Jobs rejected at admission because the service queue was saturated
     /// (`tg-serve` load shedding).
     JobsShed,
+    /// Submissions served straight from the content-addressed result cache
+    /// (`tg-serve`; see `docs/CACHING.md`).
+    CacheHit,
+    /// Cache-enabled submissions that had to run (no stored result; the
+    /// denominator of the hit rate together with [`Counter::CacheHit`]).
+    CacheMiss,
+    /// Bytes of cached results evicted to respect the cache byte budget.
+    CacheEvictedBytes,
+    /// Submissions that attached to an identical in-flight job instead of
+    /// entering the worker queue (`tg-serve` request coalescing).
+    JobsCoalesced,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 14;
+pub const N_COUNTERS: usize = 18;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -101,6 +112,10 @@ impl Counter {
         Counter::ArenaLiveBytes,
         Counter::JobsRetried,
         Counter::JobsShed,
+        Counter::CacheHit,
+        Counter::CacheMiss,
+        Counter::CacheEvictedBytes,
+        Counter::JobsCoalesced,
     ];
 
     fn index(self) -> usize {
@@ -119,6 +134,10 @@ impl Counter {
             Counter::ArenaLiveBytes => 11,
             Counter::JobsRetried => 12,
             Counter::JobsShed => 13,
+            Counter::CacheHit => 14,
+            Counter::CacheMiss => 15,
+            Counter::CacheEvictedBytes => 16,
+            Counter::JobsCoalesced => 17,
         }
     }
 
@@ -139,6 +158,10 @@ impl Counter {
             Counter::ArenaLiveBytes => "arena_live_bytes",
             Counter::JobsRetried => "jobs_retried",
             Counter::JobsShed => "jobs_shed",
+            Counter::CacheHit => "cache_hits",
+            Counter::CacheMiss => "cache_misses",
+            Counter::CacheEvictedBytes => "cache_evicted_bytes",
+            Counter::JobsCoalesced => "jobs_coalesced",
         }
     }
 }

@@ -55,6 +55,7 @@ fn run_with_threads(threads: usize, method: &EvdMethod) -> RunOutput {
         max_retries: 3,
         retry_backoff: Duration::from_micros(100),
         serial_fallback: true,
+        ..ServeConfig::default()
     })
     .expect("valid TG_THREADS must be accepted");
     assert_eq!(svc.workers(), threads, "TG_THREADS not honoured");
