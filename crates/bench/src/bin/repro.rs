@@ -31,6 +31,11 @@
 //! repro measured [n]        # CPU-scale measured shape checks (real kernels)
 //! repro gemm_sweep [--ci] [--reps k] [--out path]
 //!                           # GEMM dispatch-path throughput sweep -> BENCH_PR4.json
+//! repro backtransform_sweep [--ci] [--reps k] [--out path]
+//!                           # back transformation: conventional vs pooled
+//!                           # panel-parallel -> BENCH_PR9.json; --ci gates
+//!                           # a 0.7x parallel-vs-serial floor and >=90%
+//!                           # panel-pool steady-state hit rate
 //! repro perf_diff <base.json> <cand.json> [--advisory] [--tol x]
 //!                           # noise-aware perf-regression gate over two sweep artifacts
 //! repro batch_scaling       # batched EVD: modeled GPU scaling + measured CPU-scale run
@@ -80,6 +85,7 @@ fn main() {
             measured_suite(n);
         }
         "gemm_sweep" => gemm_sweep(&args[1..]),
+        "backtransform_sweep" => backtransform_sweep(&args[1..]),
         "perf_diff" => perf_diff(&args[1..]),
         "anchors" => anchors(),
         "ablation" => ablation(),
@@ -109,7 +115,7 @@ fn main() {
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign [--serve]|serve_soak [--seconds s] [--n size] [--rate-mult x] [--trace-out path]|cache_soak [--ci] [--seconds s] [--n size] [--pool p] [--zipf a] [--trace-out path]|batch_scaling|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|backtransform_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign [--serve]|serve_soak [--seconds s] [--n size] [--rate-mult x] [--trace-out path]|cache_soak [--ci] [--seconds s] [--n size] [--pool p] [--zipf a] [--trace-out path]|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -508,6 +514,106 @@ fn gemm_sweep(args: &[String]) {
         "syr2k": serde_json::json!({
             "n": syr2k_n,
             "rows": sy.iter().map(row).collect::<Vec<_>>(),
+        }),
+    });
+    std::fs::write(out_path, serde_json::to_string_pretty(&out).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+/// Back-transformation throughput sweep: conventional `apply_q1` vs the
+/// pooled Figure-13 path, serial and panel-parallel, per `(n, b, k)`
+/// shape. The full grid writes the committed `BENCH_PR9.json` artifact;
+/// `--ci` runs a reduced grid and enforces two gates instead: (a)
+/// blocked-parallel must stay within 0.7x of blocked-serial throughput
+/// (same arithmetic on a one-core runner — the floor catches a broken
+/// panel pool or a respawn storm, not a flaky absolute number), and (b)
+/// the panel pools must reach a >= 90% steady-state hit rate (the
+/// allocation-free hot path). The serial-vs-parallel *bitwise* assert runs
+/// inside the sweep itself on every shape.
+fn backtransform_sweep(args: &[String]) {
+    let ci = args.iter().any(|a| a == "--ci");
+    let reps = flag_value(args, "--reps")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3);
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR9.json");
+    let threads = tg_blas::worker_threads();
+    let shapes: &[(usize, usize, usize)] = if ci {
+        &[(192, 8, 64), (256, 16, 128)]
+    } else {
+        &[(96, 8, 32), (128, 8, 64), (192, 8, 64), (256, 16, 128)]
+    };
+    println!(
+        "== backtransform sweep ({threads} worker threads, {} grid, median of {reps}) ==\n",
+        if ci { "reduced CI" } else { "full" }
+    );
+    let (ms, hit_rate) = measured::backtransform_sweep_reps(shapes, threads, reps);
+    println!(
+        "{}",
+        render_table(
+            "measured: back transformation, conventional vs pooled panel-parallel",
+            &["kernel", "n", "time", "GFLOP/s"],
+            &measured::to_rows(&ms)
+        )
+    );
+    println!("panel-pool steady-state hit rate: {:.1}%", 100.0 * hit_rate);
+
+    if ci {
+        for &(n, b, k) in shapes {
+            let find = |prefix: &str| {
+                ms.iter()
+                    .find(|m| {
+                        m.param == n
+                            && m.label.starts_with(prefix)
+                            && m.label.ends_with(&format!("b={b},k={k})"))
+                    })
+                    .unwrap_or_else(|| panic!("{prefix} row for n={n}"))
+            };
+            let serial = find("blocked-serial");
+            let par = find("blocked-parallel");
+            if par.gflops < 0.7 * serial.gflops {
+                eprintln!(
+                    "backtransform_sweep: blocked-parallel fell below the sanity floor at \
+                     n = {n}: {:.2} GFLOP/s vs {:.2} GFLOP/s serial",
+                    par.gflops, serial.gflops
+                );
+                std::process::exit(1);
+            }
+        }
+        if hit_rate < 0.9 {
+            eprintln!(
+                "backtransform_sweep: panel-pool steady-state hit rate {:.1}% < 90% — \
+                 the hot path is allocating",
+                100.0 * hit_rate
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "sanity floors passed: blocked-parallel >= 0.7x blocked-serial at every shape, \
+             hit rate >= 90%"
+        );
+        return;
+    }
+
+    let row = |m: &tg_bench::measured::Measurement| {
+        serde_json::json!({
+            "kernel": m.label,
+            "param": m.param,
+            "seconds": m.seconds,
+            "gflops": m.gflops,
+        })
+    };
+    let out = serde_json::json!({
+        "schema_version": tg_bench::perf_diff::SCHEMA_VERSION,
+        "git_rev": git_revision(),
+        "tg_threads": threads,
+        "reps": reps,
+        "host_threads": threads,
+        "note": "median-of-reps back-transformation sweep (2n^3 flop convention); \
+                 parallel rows are bitwise-identical to serial by construction",
+        "panel_pool_hit_rate": hit_rate,
+        "backtransform": serde_json::json!({
+            "rows": ms.iter().map(row).collect::<Vec<_>>(),
         }),
     });
     std::fs::write(out_path, serde_json::to_string_pretty(&out).unwrap() + "\n")
@@ -1639,6 +1745,7 @@ fn model_vs_measured() {
     rows.extend(model_check::check_batched_evd(48, 5));
     rows.extend(model_check::check_checker_overhead(96));
     rows.extend(model_check::check_utilization(96, 8, 4));
+    rows.extend(model_check::check_backtransform(96, 8, 32));
     print!("{}", model_check::report(&rows));
     if rows.iter().any(|r| !r.within_tolerance()) {
         std::process::exit(1);

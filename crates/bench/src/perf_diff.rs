@@ -44,11 +44,12 @@ pub const HARD_FLOOR: f64 = 0.5;
 /// One measurement row extracted from an artifact.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRow {
-    /// Row group: `"gemm"` or `"syr2k"`.
+    /// Row group: `"gemm"`, `"syr2k"`, or `"backtransform"`.
     pub group: String,
     /// Kernel label (e.g. `packed-serial`).
     pub kernel: String,
-    /// Sweep parameter (matrix size for GEMM, rank for syr2k).
+    /// Sweep parameter (matrix size for GEMM and backtransform, rank for
+    /// syr2k).
     pub param: u64,
     /// Throughput in GFLOP/s — the compared quantity.
     pub gflops: f64,
@@ -115,8 +116,14 @@ pub fn load_bench(text: &str) -> Result<BenchFile, String> {
     if let Some(sy) = v.get("syr2k").and_then(|s| s.get("rows")) {
         parse_rows("syr2k", sy, &mut rows)?;
     }
+    if let Some(bt) = v.get("backtransform").and_then(|s| s.get("rows")) {
+        parse_rows("backtransform", bt, &mut rows)?;
+    }
     if rows.is_empty() {
-        return Err("no measurement rows (expected `gemm` and/or `syr2k.rows`)".into());
+        return Err(
+            "no measurement rows (expected `gemm`, `syr2k.rows`, and/or `backtransform.rows`)"
+                .into(),
+        );
     }
     Ok(BenchFile {
         schema_version,
@@ -492,6 +499,30 @@ mod tests {
     }
 
     #[test]
+    fn parses_backtransform_group() {
+        let text = r#"{
+  "schema_version": 2,
+  "tg_threads": 4,
+  "panel_pool_hit_rate": 0.97,
+  "backtransform": {
+    "rows": [
+      {"kernel": "conventional(b=8,k=64)", "param": 128, "seconds": 0.02, "gflops": 2.0},
+      {"kernel": "blocked-parallel(t=4,b=8,k=64)", "param": 128, "seconds": 0.005, "gflops": 8.0}
+    ]
+  }
+}"#;
+        let f = load_bench(text).unwrap();
+        assert_eq!(f.rows.len(), 2);
+        assert!(f.rows.iter().all(|r| r.group == "backtransform"));
+        // Blocked-parallel labels pick up the looser parallel budget via the
+        // existing substring match.
+        let par = &f.rows[1];
+        assert_eq!(kernel_tolerance(&par.kernel), PARALLEL_TOL);
+        let report = diff(&f, &f, None).unwrap();
+        assert_eq!(report.exit_code(false), 0);
+    }
+
+    #[test]
     fn committed_bench_pr4_self_compares_clean() {
         // Acceptance criterion: `repro perf_diff BENCH_PR4.json
         // BENCH_PR4.json` exits 0.
@@ -500,6 +531,20 @@ mod tests {
                 .expect("committed BENCH_PR4.json");
         let f = load_bench(&text).unwrap();
         assert_eq!(f.schema_version, SCHEMA_VERSION);
+        let report = diff(&f, &f, None).unwrap();
+        assert_eq!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn committed_bench_pr9_self_compares_clean() {
+        // Acceptance criterion: `repro perf_diff BENCH_PR9.json
+        // BENCH_PR9.json` exits 0.
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json"))
+                .expect("committed BENCH_PR9.json");
+        let f = load_bench(&text).unwrap();
+        assert_eq!(f.schema_version, SCHEMA_VERSION);
+        assert!(f.rows.iter().any(|r| r.group == "backtransform"));
         let report = diff(&f, &f, None).unwrap();
         assert_eq!(report.exit_code(false), 0);
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]
-//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
+//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--backtransform-k K] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--cache-mb M] [--dedup] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
@@ -35,7 +35,7 @@ use tridiag_core::{tridiagonalize, Method};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]\n  \
-         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
+         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--backtransform-k K] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--cache-mb M] [--dedup] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
@@ -66,6 +66,7 @@ struct Opts {
     rate_hz: f64,
     cache_mb: u64,
     dedup: bool,
+    backtransform_k: Option<usize>,
     trace: Option<String>,
     profile: bool,
     timeline: bool,
@@ -90,6 +91,7 @@ fn parse_opts(args: &[String]) -> Opts {
         rate_hz: 0.0,
         cache_mb: 0,
         dedup: false,
+        backtransform_k: None,
         trace: None,
         profile: false,
         timeline: false,
@@ -164,6 +166,13 @@ fn parse_opts(args: &[String]) -> Opts {
                     .unwrap_or_else(|| usage())
             }
             "--dedup" => o.dedup = true,
+            "--backtransform-k" => {
+                o.backtransform_k = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--kind" => o.kind = it.next().cloned().unwrap_or_else(|| usage()),
             "--seed" => {
                 o.seed = it
@@ -194,12 +203,28 @@ fn load_symmetric(path: &str) -> Mat {
     m
 }
 
-fn evd_method(name: &str, n: usize) -> EvdMethod {
+fn evd_method(o: &Opts, n: usize) -> EvdMethod {
     let b = (n / 16).clamp(2, 32);
-    match name {
+    match o.method.as_str() {
         "direct" => EvdMethod::CusolverLike { nb: 32 },
         "magma" => EvdMethod::MagmaLike { b },
-        "proposed" => EvdMethod::proposed_default(n),
+        "proposed" => {
+            let mut m = EvdMethod::proposed_default(n);
+            // Merge width for the blocked back transformation; the
+            // default is `min(16·b, 2048, n)` — see
+            // `tg_eigen::default_backtransform_k` and "Back
+            // transformation" in docs/PERFORMANCE.md.
+            if let (
+                Some(k),
+                EvdMethod::Proposed {
+                    backtransform_k, ..
+                },
+            ) = (o.backtransform_k, &mut m)
+            {
+                *backtransform_k = k.clamp(1, n.max(1));
+            }
+            m
+        }
         other => fail(format!("unknown method: {other}")),
     }
 }
@@ -325,9 +350,7 @@ fn main() {
             let a = load_symmetric(input);
             let n = a.nrows();
             let evd = with_trace(&o, || {
-                with_check(&o, || {
-                    syevd(&mut a.clone(), &evd_method(&o.method, n), false)
-                })
+                with_check(&o, || syevd(&mut a.clone(), &evd_method(&o, n), false))
             })
             .unwrap_or_else(|e| fail(e));
             for v in &evd.eigenvalues {
@@ -341,9 +364,7 @@ fn main() {
             let a = load_symmetric(input);
             let n = a.nrows();
             let evd = with_trace(&o, || {
-                with_check(&o, || {
-                    syevd(&mut a.clone(), &evd_method(&o.method, n), true)
-                })
+                with_check(&o, || syevd(&mut a.clone(), &evd_method(&o, n), true))
             })
             .unwrap_or_else(|e| fail(e));
             let mut vals = Mat::zeros(n, 1);
@@ -396,7 +417,7 @@ fn main() {
                 tg_batch::worker_threads()
             };
             let scheduler = tg_batch::BatchScheduler::new(workers);
-            let method = evd_method(&o.method, n);
+            let method = evd_method(&o, n);
             let batch = with_trace(&o, || {
                 with_check(&o, || scheduler.syevd(&problems, &method, o.vectors))
             })
@@ -432,7 +453,7 @@ fn main() {
                 Some(0) => fail("--n must be at least 1"),
                 Some(n) => n,
             };
-            let method = evd_method(&o.method, n);
+            let method = evd_method(&o, n);
             // With caching or dedup on, cycle a small pool of distinct
             // matrices so repeats actually occur (otherwise every job is
             // unique and the cache can only miss).

@@ -11,10 +11,40 @@
 //!   pairwise (batched) into blocks of width `≥ target_k`, then applied;
 //!   the GEMMs become `n × k`-sized at the cost of extra flops for the
 //!   merged `W`s.
+//! * [`apply_q1_blocked_ws`] — the production path: the merge runs **once**
+//!   with pool-backed scratch ([`merge_q1_blocked_ws`]), then the merged
+//!   read-only blocks are applied to fixed-width *column panels* of `C` on
+//!   a scoped worker pool ([`apply_blocks_panels`]).
+//!
+//! # Why panels split columns, never the factor product
+//!
+//! The factor product `F₁F₂⋯F_p` is ordered — the factors overlap row
+//! ranges and do not commute — so parallelizing across *factors* would
+//! change the arithmetic. Columns of `C` are the independent axis: each
+//! eigenvector is transformed by the same ordered product with no data
+//! shared between columns. Partitioning `C` into **fixed-width** panels
+//! (width [`PANEL_COLS`], independent of the worker count) keeps the
+//! per-panel GEMM shapes — and therefore the kernel dispatch and the
+//! floating-point evaluation order — identical no matter how many workers
+//! drain the panel queue, so the result is bitwise-identical at every
+//! `TG_THREADS`. The serial path is literally the same panels applied in
+//! order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::workspace::{CachingPool, WorkspacePool};
 use tg_blas::{gemm, gemm_into, Op};
-use tg_householder::wblock::{merge_to_width, WyPair};
+use tg_householder::wblock::{merge_to_width, merge_to_width_ws, WyPair};
 use tg_matrix::{Mat, MatMut};
+
+/// Eigenvector-panel width for the parallel apply. Fixed — deliberately
+/// *not* derived from the worker count or `C`'s shape — so the per-panel
+/// GEMM shapes (and with them the dispatch and summation order) are
+/// invariant under `TG_THREADS`; see the module docs. 32 columns keeps a
+/// `k × 32` update above the packed-GEMM threshold for production widths
+/// while still yielding enough panels to feed 8 workers at `n = 256`.
+pub const PANEL_COLS: usize = 32;
 
 /// Applies `Q₁` (or `Q₁ᵀ`) to `C` one factor at a time (conventional order).
 ///
@@ -97,10 +127,244 @@ fn pad_top(f: &WyPair, pad: usize, rows: usize) -> WyPair {
     WyPair { w, y }
 }
 
+/// Pool-backed [`pad_top`]: the padded storage is pool-acquired (caller
+/// releases). Bitwise-identical under the zero contract.
+pub fn pad_top_ws(f: &WyPair, pad: usize, rows: usize, pool: &mut dyn WorkspacePool) -> WyPair {
+    let k = f.width();
+    let m = f.w.nrows();
+    assert!(pad + m <= rows);
+    let mut w = pool.acquire(rows, k);
+    w.view_mut(pad, 0, m, k).copy_from(&f.w.as_ref());
+    let mut y = pool.acquire(rows, k);
+    y.view_mut(pad, 0, m, k).copy_from(&f.y.as_ref());
+    WyPair { w, y }
+}
+
+/// The merge half of [`apply_q1_blocked`], run **once** so the wide blocks
+/// can be shared read-only across all column panels: groups, zero-pads and
+/// merges the factors exactly as the allocating path does, with every
+/// temporary and the merged `W`/`Y` storage drawn from `pool`.
+///
+/// Returns the merged `(offset, factor)` list in product order; every
+/// returned matrix is pool-acquired — release with [`release_blocks`].
+pub fn merge_q1_blocked_ws(
+    factors: &[(usize, WyPair)],
+    target_k: usize,
+    pool: &mut dyn WorkspacePool,
+) -> Vec<(usize, WyPair)> {
+    let _span = tg_trace::span_cat(
+        "backtransform.merge",
+        "stage",
+        Some(("factors", factors.len() as u64)),
+    );
+    if factors.is_empty() {
+        return Vec::new();
+    }
+    let b = factors.iter().map(|(_, f)| f.width()).max().unwrap_or(1);
+    let per_group = (target_k / b.max(1)).max(1);
+    let mut merged: Vec<(usize, WyPair)> = Vec::new();
+    for chunk in factors.chunks(per_group) {
+        let off0 = chunk[0].0; // smallest offset (offsets ascend)
+        let rows = chunk.iter().map(|(o, f)| f.w.nrows() + o).max().unwrap() - off0;
+        let padded: Vec<WyPair> = chunk
+            .iter()
+            .map(|(o, f)| pad_top_ws(f, o - off0, rows, pool))
+            .collect();
+        let wide = merge_to_width_ws(padded, target_k, pool);
+        for f in wide {
+            merged.push((off0, f));
+        }
+    }
+    merged
+}
+
+/// Releases every matrix of a pool-acquired block list (the counterpart of
+/// [`merge_q1_blocked_ws`] / `BcResult::sweep_blocks_ws`).
+pub fn release_blocks(blocks: Vec<(usize, WyPair)>, pool: &mut dyn WorkspacePool) {
+    for (_, f) in blocks {
+        pool.release(f.w);
+        pool.release(f.y);
+    }
+}
+
+/// Per-worker scratch pools for the panel loop, reusable across calls so a
+/// steady-state driver (the bench sweep, a batched EVD) reaches an
+/// allocation-free hot path. Workers never share a pool, so the panel loop
+/// takes no locks on the acquire/release path.
+#[derive(Default)]
+pub struct PanelPools {
+    pools: Vec<CachingPool>,
+}
+
+impl PanelPools {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// At least `workers` pools, growing on demand (existing pools keep
+    /// their caches).
+    fn for_workers(&mut self, workers: usize) -> &mut [CachingPool] {
+        while self.pools.len() < workers {
+            self.pools.push(CachingPool::new());
+        }
+        &mut self.pools[..workers]
+    }
+
+    /// Total cache hits across all worker pools.
+    pub fn hits(&self) -> u64 {
+        self.pools.iter().map(CachingPool::hits).sum()
+    }
+
+    /// Total cache misses (allocations) across all worker pools.
+    pub fn misses(&self) -> u64 {
+        self.pools.iter().map(CachingPool::misses).sum()
+    }
+
+    /// Aggregate hit rate across all worker pools (0 before first use).
+    pub fn hit_rate(&self) -> f64 {
+        let hits: u64 = self.pools.iter().map(CachingPool::hits).sum();
+        let total: u64 = self.pools.iter().map(|p| p.hits() + p.misses()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Applies the ordered block-factor product `F₁F₂⋯F_p` (each entry
+/// `(offset, I − WYᵀ)`) to `C` from the left, partitioned into
+/// [`PANEL_COLS`]-wide column panels drained by `workers` scoped threads.
+///
+/// The blocks are shared read-only; each panel applies the full product in
+/// reverse order with its worker's private [`CachingPool`] supplying the
+/// `YᵀC` scratch. Panel boundaries are independent of `workers`, so the
+/// result is bitwise-identical for every worker count (the `workers == 1`
+/// path is the same panels in order on the calling thread). Workers enter
+/// the `tg_blas::threads` nested-fan-out guard so inner GEMMs stay serial
+/// (PR 5 pattern); a single worker keeps intra-kernel parallelism.
+pub fn apply_blocks_panels(
+    blocks: &[(usize, WyPair)],
+    c: &mut Mat,
+    workers: usize,
+    panel_pools: &mut PanelPools,
+) {
+    let ncols = c.ncols();
+    if blocks.is_empty() || ncols == 0 {
+        return;
+    }
+    let n_panels = ncols.div_ceil(PANEL_COLS);
+    let workers = workers.max(1).min(n_panels);
+    let pools = panel_pools.for_workers(workers);
+
+    // Carve C into disjoint fixed-width column panels.
+    let mut panels: Vec<MatMut<'_>> = Vec::with_capacity(n_panels);
+    let mut rest = c.view_mut(0, 0, c.nrows(), ncols);
+    while rest.ncols() > 0 {
+        let w = rest.ncols().min(PANEL_COLS);
+        let (p, r) = rest.split_at_col(w);
+        panels.push(p);
+        rest = r;
+    }
+
+    if workers == 1 {
+        for (idx, panel) in panels.iter_mut().enumerate() {
+            let _t = tg_trace::span_cat("backtransform.panel", "task", Some(("panel", idx as u64)));
+            apply_blocks_to_panel(blocks, panel, &mut pools[0]);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<MatMut<'_>>>> =
+        panels.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let region = tg_trace::RegionId::fresh();
+    let _rspan = tg_trace::span_region(
+        "parallel.backtransform",
+        "region",
+        Some(("panels", n_panels as u64)),
+        region,
+    );
+    std::thread::scope(|s| {
+        for (wid, pool) in pools.iter_mut().enumerate() {
+            let (next, slots) = (&next, &slots);
+            s.spawn(move || {
+                // Parallelism budget is spent across panels: keep the BLAS
+                // kernels inside each panel serial (bitwise-identical
+                // either way) instead of nesting a second fan-out.
+                let _region = tg_blas::threads::enter_parallel_region();
+                let _wspan = tg_trace::span_region(
+                    "backtransform.worker",
+                    "worker",
+                    Some(("w", wid as u64)),
+                    region,
+                );
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let mut panel = lock_unpoisoned(&slots[i])
+                        .take()
+                        .expect("each panel claimed once");
+                    let _t = tg_trace::span_region(
+                        "backtransform.panel",
+                        "task",
+                        Some(("panel", i as u64)),
+                        region,
+                    );
+                    apply_blocks_to_panel(blocks, &mut panel, pool);
+                }
+            });
+        }
+    });
+}
+
+/// A panicking panel worker must not wedge its siblings' slot access.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One panel's work: the full ordered product, reverse order, pooled
+/// scratch. Row sub-ranges are taken per factor so each `apply_left_ws`
+/// sees exactly the rows the factor acts on.
+fn apply_blocks_to_panel(
+    blocks: &[(usize, WyPair)],
+    panel: &mut MatMut<'_>,
+    pool: &mut CachingPool,
+) {
+    for (off, f) in blocks.iter().rev() {
+        let rows = f.w.nrows();
+        let (_, below) = panel.rb_mut().split_at_row(*off);
+        let (mut sub, _) = below.split_at_row(rows);
+        f.apply_left_ws(&mut sub, pool);
+    }
+}
+
+/// The production back transformation: [`merge_q1_blocked_ws`] once, then
+/// the merged blocks applied panel-parallel by [`apply_blocks_panels`].
+///
+/// Numerically this matches [`apply_q1_blocked`] to merge accuracy (the
+/// merged factors are bitwise-identical; only the apply GEMM shapes
+/// differ), and it is bitwise-identical to *itself* at every `workers`.
+pub fn apply_q1_blocked_ws(
+    factors: &[(usize, WyPair)],
+    c: &mut Mat,
+    target_k: usize,
+    pool: &mut dyn WorkspacePool,
+    workers: usize,
+    panel_pools: &mut PanelPools,
+) {
+    let merged = merge_q1_blocked_ws(factors, target_k, pool);
+    apply_blocks_panels(&merged, c, workers, panel_pools);
+    release_blocks(merged, pool);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sbr::band_reduce;
+    use crate::workspace::AllocPool;
     use tg_matrix::{gen, max_abs_diff};
 
     fn setup(n: usize, b: usize, seed: u64) -> Vec<(usize, WyPair)> {
@@ -169,6 +433,103 @@ mod tests {
         let mut c = c0.clone();
         apply_q1(&[], &mut c, false);
         apply_q1_blocked(&[], &mut c, 8);
+        apply_q1_blocked_ws(&[], &mut c, 8, &mut AllocPool, 4, &mut PanelPools::new());
         assert_eq!(c, c0);
+    }
+
+    #[test]
+    fn merged_ws_blocks_are_bitwise_identical_to_allocating_merge() {
+        let n = 28;
+        let factors = setup(n, 2, 5);
+        // The allocating path merges inline; replicate its grouping here.
+        let b = factors.iter().map(|(_, f)| f.width()).max().unwrap();
+        for target_k in [4usize, 8] {
+            let per_group = (target_k / b).max(1);
+            let mut expect: Vec<(usize, WyPair)> = Vec::new();
+            for chunk in factors.chunks(per_group) {
+                let off0 = chunk[0].0;
+                let rows = chunk.iter().map(|(o, f)| f.w.nrows() + o).max().unwrap() - off0;
+                let padded: Vec<WyPair> = chunk
+                    .iter()
+                    .map(|(o, f)| pad_top(f, o - off0, rows))
+                    .collect();
+                for f in merge_to_width(padded, target_k) {
+                    expect.push((off0, f));
+                }
+            }
+            let got = merge_q1_blocked_ws(&factors, target_k, &mut AllocPool);
+            assert_eq!(expect.len(), got.len());
+            for ((eo, ef), (go, gf)) in expect.iter().zip(&got) {
+                assert_eq!(eo, go);
+                assert_eq!(ef.w, gf.w, "target_k={target_k}");
+                assert_eq!(ef.y, gf.y, "target_k={target_k}");
+            }
+            release_blocks(got, &mut AllocPool);
+        }
+    }
+
+    #[test]
+    fn panel_apply_matches_conventional_and_is_worker_invariant() {
+        let n = 40;
+        let factors = setup(n, 3, 6);
+        // More columns than one panel so the partition is non-trivial, and
+        // a ragged final panel (n+PANEL_COLS/2 columns) to cover the
+        // short-panel dispatch path.
+        let cols = PANEL_COLS + PANEL_COLS / 2 + 3;
+        let c0 = gen::random(n, cols, 60);
+        let mut reference = c0.clone();
+        apply_q1(&factors, &mut reference, false);
+
+        let mut serial = c0.clone();
+        apply_q1_blocked_ws(
+            &factors,
+            &mut serial,
+            8,
+            &mut AllocPool,
+            1,
+            &mut PanelPools::new(),
+        );
+        assert!(
+            max_abs_diff(&reference, &serial) < 1e-11,
+            "{}",
+            max_abs_diff(&reference, &serial)
+        );
+
+        for workers in [2usize, 3, 4, 7] {
+            let mut par = c0.clone();
+            apply_q1_blocked_ws(
+                &factors,
+                &mut par,
+                8,
+                &mut AllocPool,
+                workers,
+                &mut PanelPools::new(),
+            );
+            assert_eq!(serial, par, "workers = {workers} must be bitwise-identical");
+        }
+    }
+
+    #[test]
+    fn panel_pools_reach_steady_state_hit_rate() {
+        let n = 36;
+        let factors = setup(n, 3, 7);
+        let c0 = gen::random(n, 2 * PANEL_COLS, 70);
+        let mut pools = PanelPools::new();
+        let mut pool = AllocPool;
+        // Single worker: the panel→pool mapping is deterministic, so the
+        // steady-state claim is exact (the parallel mapping only shifts
+        // which worker's pool warms up, not whether the loop allocates).
+        let mut c = c0.clone();
+        apply_q1_blocked_ws(&factors, &mut c, 8, &mut pool, 1, &mut pools);
+        // …after which the panel loop allocates nothing.
+        let before_misses: u64 = pools.pools.iter().map(CachingPool::misses).sum();
+        let mut c = c0.clone();
+        apply_q1_blocked_ws(&factors, &mut c, 8, &mut pool, 1, &mut pools);
+        let after_misses: u64 = pools.pools.iter().map(CachingPool::misses).sum();
+        assert_eq!(
+            before_misses, after_misses,
+            "steady state must not allocate"
+        );
+        assert!(pools.hit_rate() > 0.0);
     }
 }

@@ -22,8 +22,9 @@
 //! extra flops but widens the GEMMs further).
 
 use super::{BcReflector, BcResult};
+use crate::workspace::WorkspacePool;
 use tg_blas::{gemm, gemm_into, Op};
-use tg_householder::wblock::{merge_pair, WyPair};
+use tg_householder::wblock::{merge_pair, merge_pair_ws, WyPair};
 use tg_matrix::Mat;
 
 /// One sweep's reflectors as an explicit `(offset, W, Y)` block factor.
@@ -50,7 +51,45 @@ pub fn sweep_block(sweep: &[BcReflector]) -> Option<(usize, WyPair)> {
     Some((r0, WyPair { w, y }))
 }
 
+/// Pool-backed [`sweep_block`]: the `(W, Y)` storage is pool-acquired
+/// (caller releases). Bitwise-identical under the zero contract — the
+/// block is built by writing entries into zeroed storage either way.
+pub fn sweep_block_ws(
+    sweep: &[BcReflector],
+    pool: &mut dyn WorkspacePool,
+) -> Option<(usize, WyPair)> {
+    let active: Vec<&BcReflector> = sweep.iter().filter(|r| r.tau != 0.0).collect();
+    if active.is_empty() {
+        return None;
+    }
+    let r0 = active.iter().map(|r| r.row0).min().unwrap();
+    let r1 = active.iter().map(|r| r.row0 + r.v.len()).max().unwrap();
+    let rows = r1 - r0;
+    let k = active.len();
+    let mut y = pool.acquire(rows, k);
+    let mut w = pool.acquire(rows, k);
+    for (j, r) in active.iter().enumerate() {
+        for (i, &vi) in r.v.iter().enumerate() {
+            let row = r.row0 - r0 + i;
+            y[(row, j)] = vi;
+            w[(row, j)] = r.tau * vi;
+        }
+    }
+    Some((r0, WyPair { w, y }))
+}
+
 impl BcResult {
+    /// One `(offset, W, Y)` block per non-empty sweep, in ascending sweep
+    /// (product) order, with pool-acquired storage — built **once** so the
+    /// panel-parallel back transformation can share the blocks read-only
+    /// across column panels. Release with
+    /// [`crate::backtransform::release_blocks`].
+    pub fn sweep_blocks_ws(&self, pool: &mut dyn WorkspacePool) -> Vec<(usize, WyPair)> {
+        self.reflectors
+            .iter()
+            .filter_map(|s| sweep_block_ws(s, pool))
+            .collect()
+    }
     /// `C ← Q₂ C` (or `Q₂ᵀ C`) using one block reflector per sweep.
     ///
     /// Bitwise this differs from [`BcResult::apply_q_left`] only by
@@ -90,6 +129,44 @@ impl BcResult {
             blocks.push((off0, merged.unwrap()));
         }
         apply_blocks(&blocks, c, trans);
+    }
+
+    /// Pool-backed [`Self::apply_q_blocked_merged`]: sweep blocks, padding
+    /// and merge scratch all come from `pool` (same arithmetic, so the
+    /// result is bitwise-identical under the zero contract).
+    pub fn apply_q_blocked_merged_ws(
+        &self,
+        c: &mut Mat,
+        trans: bool,
+        group: usize,
+        pool: &mut dyn WorkspacePool,
+    ) {
+        assert!(group >= 1);
+        let sweeps: Vec<(usize, WyPair)> = self.sweep_blocks_ws(pool);
+        let mut blocks: Vec<(usize, WyPair)> = Vec::new();
+        for chunk in sweeps.chunks(group) {
+            let off0 = chunk.iter().map(|(o, _)| *o).min().unwrap();
+            let end = chunk.iter().map(|(o, f)| o + f.w.nrows()).max().unwrap();
+            let mut merged: Option<WyPair> = None;
+            for (o, f) in chunk {
+                let padded = crate::backtransform::pad_top_ws(f, o - off0, end - off0, pool);
+                merged = Some(match merged {
+                    None => padded,
+                    Some(m) => {
+                        let next = merge_pair_ws(&m, &padded, pool);
+                        pool.release(m.w);
+                        pool.release(m.y);
+                        pool.release(padded.w);
+                        pool.release(padded.y);
+                        next
+                    }
+                });
+            }
+            blocks.push((off0, merged.unwrap()));
+        }
+        crate::backtransform::release_blocks(sweeps, pool);
+        apply_blocks(&blocks, c, trans);
+        crate::backtransform::release_blocks(blocks, pool);
     }
 }
 
@@ -188,6 +265,43 @@ mod tests {
                 "group = {group}: {}",
                 max_abs_diff(&reference, &c)
             );
+        }
+    }
+
+    #[test]
+    fn sweep_blocks_ws_is_bitwise_identical() {
+        let (_, res) = setup(20, 3, 11);
+        let mut pool = crate::workspace::AllocPool;
+        let pooled = res.sweep_blocks_ws(&mut pool);
+        let plain: Vec<(usize, super::WyPair)> = res
+            .reflectors
+            .iter()
+            .filter_map(|s| super::sweep_block(s))
+            .collect();
+        assert_eq!(plain.len(), pooled.len());
+        for ((po, pf), (qo, qf)) in plain.iter().zip(&pooled) {
+            assert_eq!(po, qo);
+            assert_eq!(pf.w, qf.w);
+            assert_eq!(pf.y, qf.y);
+        }
+        crate::backtransform::release_blocks(pooled, &mut pool);
+    }
+
+    #[test]
+    fn merged_ws_matches_allocating_merged() {
+        let (_, res) = setup(24, 3, 12);
+        let c0 = gen::random(24, 6, 13);
+        for group in [1usize, 2, 3, 100] {
+            let mut plain = c0.clone();
+            res.apply_q_blocked_merged(&mut plain, false, group);
+            let mut pooled = c0.clone();
+            res.apply_q_blocked_merged_ws(
+                &mut pooled,
+                false,
+                group,
+                &mut crate::workspace::AllocPool,
+            );
+            assert_eq!(plain, pooled, "group = {group}");
         }
     }
 

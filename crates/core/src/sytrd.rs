@@ -26,30 +26,42 @@ pub struct SytrdResult {
 }
 
 impl SytrdResult {
-    /// Materializes `Q = H₀ H₁ ⋯ H_{n−2}` with blocked compact-WY
-    /// application (`dorgtr` analogue): reflectors are grouped `nb` at a
-    /// time into `I − V T Vᵀ` factors, so the work is GEMM-shaped instead
-    /// of rank-1 — the same BLAS-3 enrichment the paper applies everywhere.
-    pub fn form_q_blocked(&self, nb: usize) -> Mat {
+    /// Applies `Q = H₀ H₁ ⋯ H_{n−2}` to `C` from the left (`C ← Q C`)
+    /// without materializing `Q` (`dormtr` analogue): reflectors are
+    /// grouped `nb` at a time into compact-WY `I − V T Vᵀ` factors applied
+    /// directly to `C`, so the cost is `O(n² · ncols)` GEMM-shaped work —
+    /// the `ormqr`-style apply the back transformation needs, where
+    /// form-`Q`-then-multiply would pay `O(n³)` regardless of `C`'s width.
+    pub fn apply_q_left(&self, c: &mut MatMut<'_>, nb: usize) {
         let n = self.tri.n();
+        assert_eq!(c.nrows(), n);
         assert!(nb >= 1);
         let total = self.taus.len();
-        let mut q = Mat::identity(n);
         // Q = B₀ B₁ ⋯ B_p ⇒ apply the block factors right-to-left
         let starts: Vec<usize> = (0..total).step_by(nb).collect();
         for &j in starts.iter().rev() {
             let w = nb.min(total - j);
             let mut v = Mat::zeros(n, w);
             let mut taus = vec![0.0; w];
-            for c in 0..w {
-                taus[c] = self.taus[j + c];
+            for col in 0..w {
+                taus[col] = self.taus[j + col];
                 for r in 0..n {
-                    v[(r, c)] = self.v[(r, j + c)];
+                    v[(r, col)] = self.v[(r, j + col)];
                 }
             }
             let blk = tg_householder::WyBlock::from_v_taus(v, &taus);
-            blk.apply_left(&mut q.as_mut(), false);
+            blk.apply_left(c, false);
         }
+    }
+
+    /// Materializes `Q = H₀ H₁ ⋯ H_{n−2}` with blocked compact-WY
+    /// application (`dorgtr` analogue): [`SytrdResult::apply_q_left`] on
+    /// the identity, so the work is GEMM-shaped instead of rank-1 — the
+    /// same BLAS-3 enrichment the paper applies everywhere.
+    pub fn form_q_blocked(&self, nb: usize) -> Mat {
+        let n = self.tri.n();
+        let mut q = Mat::identity(n);
+        self.apply_q_left(&mut q.as_mut(), nb);
         q
     }
 
@@ -298,6 +310,32 @@ mod tests {
         for nb in [1usize, 3, 8, 64] {
             let q_blk = res.form_q_blocked(nb);
             assert!(tg_matrix::max_abs_diff(&q_ref, &q_blk) < 1e-12, "nb = {nb}");
+        }
+    }
+
+    #[test]
+    fn apply_q_left_matches_form_q_product() {
+        let n = 21;
+        let a0 = gen::random_symmetric(n, 61);
+        let mut a = a0.clone();
+        let res = sytrd_blocked(&mut a, 5);
+        let q = res.form_q();
+        let c0 = gen::random(n, 4, 62);
+        let expect = tg_blas::gemm_into(
+            1.0,
+            &q.as_ref(),
+            tg_blas::Op::NoTrans,
+            &c0.as_ref(),
+            tg_blas::Op::NoTrans,
+        );
+        for nb in [1usize, 4, 32] {
+            let mut c = c0.clone();
+            res.apply_q_left(&mut c.as_mut(), nb);
+            assert!(
+                tg_matrix::max_abs_diff(&expect, &c) < 1e-11,
+                "nb = {nb}: {}",
+                tg_matrix::max_abs_diff(&expect, &c)
+            );
         }
     }
 

@@ -8,7 +8,9 @@
 //! * [`Method::Dbbr`] — the paper's method: double-blocking band reduction
 //!   + pipelined bulge chasing.
 
-use crate::backtransform::{apply_q1, apply_q1_blocked};
+use crate::backtransform::{
+    apply_q1, apply_q1_blocked, merge_q1_blocked_ws, release_blocks, PanelPools,
+};
 use crate::bc::{bulge_chase_grouped, bulge_chase_pipelined, bulge_chase_seq, BcResult};
 use crate::dbbr::{dbbr_ws, DbbrConfig};
 use crate::sbr::band_reduce;
@@ -53,6 +55,12 @@ impl Method {
     }
 }
 
+/// Compact-WY group width for the `Direct` pipeline's reflector apply
+/// (`dormtr` blocking). 32 matches the panel widths used elsewhere and
+/// keeps every apply GEMM's inner dimension wide enough for the packed
+/// kernel at production sizes.
+const DIRECT_APPLY_NB: usize = 32;
+
 /// How the orthogonal factor is represented, per pipeline.
 enum QFactors {
     Direct(SytrdResult),
@@ -80,15 +88,10 @@ impl TridiagResult {
         let _span = tg_trace::span_cat("backtransform", "stage", Some(("n", self.n as u64)));
         match &self.q {
             QFactors::Direct(res) => {
-                let q = res.form_q();
-                let prod = tg_blas::gemm_into(
-                    1.0,
-                    &q.as_ref(),
-                    tg_blas::Op::NoTrans,
-                    &c.as_ref(),
-                    tg_blas::Op::NoTrans,
-                );
-                c.copy_from(&prod.as_ref());
+                // ormqr-style: apply the stored reflectors blockwise
+                // (O(n²·ncols)); materializing Q first would cost O(n³)
+                // no matter how narrow C is. `form_q` stays a test helper.
+                res.apply_q_left(&mut c.as_mut(), DIRECT_APPLY_NB);
             }
             QFactors::TwoStage { factors, bc } => {
                 bc.apply_q_left(c, false);
@@ -109,6 +112,60 @@ impl TridiagResult {
                     tg_trace::span_cat("backtransform", "stage", Some(("n", self.n as u64)));
                 bc.apply_q_left_blocked(c, false);
                 apply_q1_blocked(factors, c, target_k);
+            }
+        }
+    }
+
+    /// The production back transformation (Figure 13 made parallel):
+    /// [`Self::apply_q_blocked`] with every temporary pool-backed and the
+    /// apply partitioned into eigenvector column panels drained by a
+    /// scoped worker pool sized by `tg_blas::threads::worker_threads`.
+    ///
+    /// The Q₂ sweep blocks and merged width-`target_k` Q₁ blocks are built
+    /// **once** from `pool`, shared read-only across all panels, and
+    /// released when the apply finishes. Panel boundaries are fixed
+    /// ([`crate::backtransform::PANEL_COLS`]), so the result is
+    /// bitwise-identical at every thread count; see
+    /// [`crate::backtransform::apply_blocks_panels`].
+    pub fn apply_q_blocked_ws(&self, c: &mut Mat, target_k: usize, pool: &mut dyn WorkspacePool) {
+        // `gemm_threads` is the fan-out budget *right now*: the full
+        // `worker_threads` normally, 1 when this apply already runs inside
+        // a parallel region (a batch-scheduler worker) — the same nested-
+        // fan-out guard the BLAS kernels use. The worker count never
+        // changes the result (fixed panel boundaries), only the schedule.
+        self.apply_q_blocked_ws_with(
+            c,
+            target_k,
+            pool,
+            tg_blas::threads::gemm_threads(),
+            &mut PanelPools::new(),
+        );
+    }
+
+    /// [`Self::apply_q_blocked_ws`] with an explicit worker count and
+    /// reusable per-worker panel pools — the entry point for the bench
+    /// sweep and the determinism tests, which vary `workers` without
+    /// touching `TG_THREADS`.
+    pub fn apply_q_blocked_ws_with(
+        &self,
+        c: &mut Mat,
+        target_k: usize,
+        pool: &mut dyn WorkspacePool,
+        workers: usize,
+        panel_pools: &mut PanelPools,
+    ) {
+        match &self.q {
+            QFactors::Direct(_) => self.apply_q(c),
+            QFactors::TwoStage { factors, bc } => {
+                let _span =
+                    tg_trace::span_cat("backtransform", "stage", Some(("n", self.n as u64)));
+                // Build the full ordered product Q = Q₁ Q₂ as one block
+                // list (Q₁'s merged blocks first — product order), so a
+                // single panel pass applies both stages.
+                let mut blocks = merge_q1_blocked_ws(factors, target_k, pool);
+                blocks.extend(bc.sweep_blocks_ws(pool));
+                crate::backtransform::apply_blocks_panels(&blocks, c, workers, panel_pools);
+                release_blocks(blocks, pool);
             }
         }
     }
@@ -330,6 +387,62 @@ mod tests {
         let mut c2 = c0.clone();
         res.apply_q_blocked(&mut c2, 8);
         assert!(tg_matrix::max_abs_diff(&c1, &c2) < 1e-11);
+    }
+
+    #[test]
+    fn pooled_blocked_backtransform_agrees_and_is_worker_invariant() {
+        let n = 40;
+        let a0 = gen::random_symmetric(n, 22);
+        let res = tridiagonalize(
+            &mut a0.clone(),
+            &Method::Dbbr {
+                cfg: DbbrConfig::new(3, 6),
+                parallel_sweeps: 2,
+            },
+        );
+        let c0 = gen::random(n, n, 23);
+        let mut reference = c0.clone();
+        res.apply_q(&mut reference);
+
+        let mut serial = c0.clone();
+        res.apply_q_blocked_ws_with(&mut serial, 12, &mut AllocPool, 1, &mut PanelPools::new());
+        assert!(
+            tg_matrix::max_abs_diff(&reference, &serial) < 1e-11,
+            "{}",
+            tg_matrix::max_abs_diff(&reference, &serial)
+        );
+        for workers in [2usize, 4, 7] {
+            let mut par = c0.clone();
+            res.apply_q_blocked_ws_with(
+                &mut par,
+                12,
+                &mut AllocPool,
+                workers,
+                &mut PanelPools::new(),
+            );
+            assert_eq!(serial, par, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn direct_apply_q_avoids_forming_q() {
+        // The Direct arm now applies reflectors to C; it must still match
+        // the dense product with the materialized Q.
+        let n = 24;
+        let a0 = gen::random_symmetric(n, 24);
+        let res = tridiagonalize(&mut a0.clone(), &Method::Direct { nb: 6 });
+        let q = res.form_q();
+        let c0 = gen::random(n, 5, 25);
+        let expect = tg_blas::gemm_into(
+            1.0,
+            &q.as_ref(),
+            tg_blas::Op::NoTrans,
+            &c0.as_ref(),
+            tg_blas::Op::NoTrans,
+        );
+        let mut c = c0.clone();
+        res.apply_q(&mut c);
+        assert!(tg_matrix::max_abs_diff(&expect, &c) < 1e-11);
     }
 
     #[test]

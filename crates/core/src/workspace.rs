@@ -8,28 +8,24 @@
 //! instead: `dbbr_ws` / `tridiagonalize_ws` request every scratch matrix
 //! through the pool and return it when done.
 //!
+//! The trait itself now lives in [`tg_householder::pool`] — the blocked
+//! back transformation pushed pooled scratch below this crate, into the
+//! `wblock` merge/apply kernels — and is re-exported here so
+//! `tridiag_core::WorkspacePool` keeps naming the same trait for every
+//! implementor and consumer upstack.
+//!
 //! **Determinism contract:** a pool must return buffers that are
 //! *bitwise-zero*, exactly like `Mat::zeros`. Under that contract the
 //! workspace-taking variants perform the identical floating-point
 //! operations as the allocating ones, so their outputs are
 //! bitwise-identical regardless of which pool is used. The default
-//! [`AllocPool`] simply allocates and drops.
+//! [`AllocPool`] simply allocates and drops; [`CachingPool`] recycles.
+
+use std::collections::BTreeMap;
 
 use tg_matrix::Mat;
 
-/// Supplies zeroed scratch matrices and accepts them back for reuse.
-///
-/// Implementations must return buffers indistinguishable from
-/// `Mat::zeros(rows, cols)`; everything else (caching policy, accounting,
-/// debug poisoning) is up to the pool.
-pub trait WorkspacePool {
-    /// Returns a zero-filled `rows × cols` matrix.
-    fn acquire(&mut self, rows: usize, cols: usize) -> Mat;
-
-    /// Hands a no-longer-needed buffer back to the pool. The pool may
-    /// recycle or drop it; the contents are dead.
-    fn release(&mut self, m: Mat);
-}
+pub use tg_householder::pool::WorkspacePool;
 
 /// The trivial pool: every acquire is a fresh allocation, every release a
 /// drop. [`crate::dbbr`] and [`crate::tridiagonalize`] use this, so the
@@ -53,6 +49,81 @@ impl WorkspacePool for AllocPool {
     }
 }
 
+/// A recycling pool: released buffers park in per-size free lists and are
+/// zero-scrubbed on reuse, upholding the bitwise contract while making the
+/// steady state allocation-free. This is the single-threaded sibling of
+/// `tg_batch::WorkspaceArena` (which adds leases, shape-class preallocation
+/// and fault hooks); the parallel back transformation keeps one
+/// `CachingPool` per panel worker so workers never contend on a lock.
+///
+/// Every acquire records [`tg_trace::Counter::ArenaHit`] or
+/// [`tg_trace::Counter::ArenaMiss`] and feeds the
+/// [`tg_trace::Counter::ArenaLiveBytes`] gauge; [`CachingPool::hit_rate`]
+/// exposes the same ratio without a trace session for the bench sweeps.
+#[derive(Default)]
+pub struct CachingPool {
+    free: BTreeMap<usize, Vec<Vec<f64>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachingPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires served from the free lists since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Acquires that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, or 0 before the first acquire.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl WorkspacePool for CachingPool {
+    fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
+        let len = rows * cols;
+        tg_trace::gauge_add(tg_trace::Counter::ArenaLiveBytes, 8 * len as u64);
+        if let Some(mut buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.hits += 1;
+            tg_trace::add(tg_trace::Counter::ArenaHit, 1);
+            // Zeroing (not just clearing the debug poison) is what upholds
+            // the bitwise contract: a recycled buffer must be
+            // indistinguishable from Mat::zeros.
+            buf.fill(0.0);
+            Mat::from_col_major(rows, cols, buf)
+        } else {
+            self.misses += 1;
+            tg_trace::add(tg_trace::Counter::ArenaMiss, 1);
+            Mat::zeros(rows, cols)
+        }
+    }
+
+    fn release(&mut self, m: Mat) {
+        let mut buf = m.into_col_major();
+        tg_trace::gauge_sub(tg_trace::Counter::ArenaLiveBytes, 8 * buf.len() as u64);
+        if cfg!(debug_assertions) {
+            // Poison dead buffers so a kernel that reads workspace it never
+            // wrote (contract violation) produces NaNs, not stale results.
+            buf.fill(f64::NAN);
+        }
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +136,24 @@ mod tests {
         assert_eq!(m.ncols(), 5);
         assert!(m.as_slice().iter().all(|&x| x == 0.0));
         pool.release(m);
+    }
+
+    #[test]
+    fn caching_pool_recycles_and_zeroes() {
+        let mut pool = CachingPool::new();
+        let mut m = pool.acquire(4, 4);
+        m.fill(7.0);
+        pool.release(m);
+        // Same size ⇒ hit, and the buffer must come back bitwise-zero.
+        let m2 = pool.acquire(2, 8);
+        assert!(m2.as_slice().iter().all(|&x| x.to_bits() == 0));
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+        assert!((pool.hit_rate() - 0.5).abs() < 1e-15);
+        pool.release(m2);
+        // Different size ⇒ miss.
+        let m3 = pool.acquire(3, 3);
+        assert_eq!(pool.misses(), 2);
+        pool.release(m3);
     }
 }

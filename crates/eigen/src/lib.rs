@@ -34,7 +34,7 @@ pub use jacobi::jacobi_evd;
 pub use pwk::sterf_pwk;
 pub use sbevd::sbevd;
 pub use steqr::{steqr, sterf};
-pub use syevd::{syevd, syevd_batched, syevd_ws, Evd, EvdMethod};
+pub use syevd::{default_backtransform_k, syevd, syevd_batched, syevd_ws, Evd, EvdMethod};
 pub use syevx::{largest_k, smallest_k, syevx_by_index};
 pub use sygv::sygvd;
 

@@ -71,9 +71,28 @@ impl EvdMethod {
             b,
             k: (b * 8).min(1024),
             parallel_sweeps: 4,
-            backtransform_k: (b * 16).min(2048),
+            backtransform_k: default_backtransform_k(b, n),
         }
     }
+}
+
+/// The default back-transformation merge width for bandwidth `b` on an
+/// `n × n` problem — the single source of truth (the paper-default
+/// constructor and the test/bench grids previously disagreed: `16b` vs
+/// `4b`).
+///
+/// Tuning rationale: each group of `k/b` width-`b` factors costs
+/// `O(n·k²)` extra merge flops to buy apply GEMMs with inner dimension
+/// `k` instead of `b`, so `k` should grow with `b` until the merge
+/// overhead catches up with the apply savings. `16b` (4 merge levels)
+/// sits at the flat top of the `repro backtransform_sweep` curve across
+/// the (n, b) grid — by `k = 16b` the apply GEMMs are already square
+/// enough that doubling `k` again buys < 5 % while the merge cost keeps
+/// doubling. The cap of 2048 is the paper's production width (Figure 13);
+/// the clamp to `n` exists because a factor can never act on more than
+/// `n` rows — wider targets only zero-pad the merge.
+pub fn default_backtransform_k(b: usize, n: usize) -> usize {
+    (b * 16).min(2048).min(n.max(1))
 }
 
 /// Result of [`syevd`].
@@ -169,9 +188,12 @@ pub fn syevd_ws(
     {
         let _span = tg_trace::span("evd.backtransform");
         match method {
+            // The production path: merge once with pool-backed scratch,
+            // then apply panel-parallel (bitwise-identical at every thread
+            // count; see `tridiag_core::backtransform`).
             EvdMethod::Proposed {
                 backtransform_k, ..
-            } => res.apply_q_blocked(&mut v, *backtransform_k),
+            } => res.apply_q_blocked_ws(&mut v, *backtransform_k, pool),
             _ => res.apply_q(&mut v),
         }
     }
@@ -237,7 +259,7 @@ mod tests {
                 b,
                 k: b * 4,
                 parallel_sweeps: 3,
-                backtransform_k: b * 4,
+                backtransform_k: default_backtransform_k(b, n),
             },
         ]
     }

@@ -146,6 +146,44 @@ pub fn backtransform_ours(dev: &Device, n: usize, b: usize, k: usize) -> f64 {
     t
 }
 
+/// Exact merge-flop count of the Figure-13 blocked back transformation.
+///
+/// Replays the grouping, zero-padding and pairwise level structure of
+/// `tridiag_core::backtransform::merge_q1_blocked_ws` over the factor
+/// footprints `(offset, rows, width)` — Algorithm 3 evaluated
+/// level-by-level — charging `4·rows·ka·kb` flops per pair merge (the two
+/// `rows × ka × kb` GEMMs of the merge identity). Unlike
+/// [`backtransform_ours`], which composes *time* from calibrated rates,
+/// this counts the arithmetic exactly, so the `MergeFlops` counter in the
+/// real implementation reconciles against it with zero error
+/// ([`crate::model_check::check_backtransform`]).
+pub fn backtransform_merge_flops(factors: &[(usize, usize, usize)], target_k: usize) -> f64 {
+    if factors.is_empty() {
+        return 0.0;
+    }
+    let b = factors.iter().map(|&(_, _, w)| w).max().unwrap_or(1);
+    let per_group = (target_k / b.max(1)).max(1);
+    let mut total = 0.0;
+    for chunk in factors.chunks(per_group) {
+        let off0 = chunk[0].0; // smallest offset (offsets ascend)
+        let rows = chunk.iter().map(|&(o, r, _)| o + r).max().unwrap() - off0;
+        // after zero-padding, every factor in the group spans `rows` rows;
+        // the level loop merges adjacent pairs, odd block carried through
+        let mut widths: Vec<usize> = chunk.iter().map(|&(_, _, w)| w).collect();
+        while widths.len() > 1 && widths[0] < target_k {
+            let mut next = Vec::with_capacity(widths.len().div_ceil(2));
+            let mut it = widths.chunks_exact(2);
+            for pair in &mut it {
+                total += 4.0 * rows as f64 * pair[0] as f64 * pair[1] as f64;
+                next.push(pair[0] + pair[1]);
+            }
+            next.extend(it.remainder().iter().copied());
+            widths = next;
+        }
+    }
+    total
+}
+
 /// Bulge-chasing back transformation (applying `Q₂`'s ≈ `n²/2b` short
 /// reflectors to an `n × n` eigenvector matrix): `2n³` flops at a
 /// batched-small-kernel rate. Dominates the with-vectors EVD (§6.2: 61 %
@@ -299,6 +337,21 @@ mod tests {
                 "n={n}: back-transform ratio {ratio:.2}"
             );
         }
+    }
+
+    #[test]
+    fn merge_flops_model_hand_checked() {
+        // Two width-2 factors, overlapping supports, merged to width 4 in
+        // one level: 4 · rows · 2 · 2 with rows = max(0+8, 2+6) − 0 = 8.
+        let flops = backtransform_merge_flops(&[(0, 8, 2), (2, 6, 2)], 4);
+        assert_eq!(flops, 4.0 * 8.0 * 2.0 * 2.0);
+        // Odd count: [2,2,2] → merge one pair (carry the odd block), then
+        // [4,2] → one more merge since width 4 < target 8.
+        let flops = backtransform_merge_flops(&[(0, 10, 2), (0, 10, 2), (0, 10, 2)], 8);
+        assert_eq!(flops, 4.0 * 10.0 * 2.0 * 2.0 + 4.0 * 10.0 * 4.0 * 2.0);
+        // Already at target width: no merges at all.
+        assert_eq!(backtransform_merge_flops(&[(0, 8, 4), (0, 8, 4)], 4), 0.0);
+        assert_eq!(backtransform_merge_flops(&[], 8), 0.0);
     }
 
     #[test]

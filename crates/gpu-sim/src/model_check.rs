@@ -262,6 +262,77 @@ pub fn check_utilization(n: usize, b: usize, s_max: usize) -> Vec<ModelRow> {
     rows
 }
 
+/// Reconciles the blocked back transformation against the Figure-13 /
+/// Algorithm-3 merge cost model, all on deterministic counters:
+///
+/// * `merge_flops` — runs the *real* pooled merge + panel apply
+///   (`merge_q1_blocked_ws` → `apply_blocks_panels`) on the SBR factors of
+///   an `n × n` problem under a trace and compares
+///   [`Counter::MergeFlops`] against
+///   [`crate::compose::backtransform_merge_flops`], which replays the
+///   exact grouping/padding/level control flow from the factor footprints
+///   — counter and model must agree to rounding;
+/// * `worker_lanes` — the `parallel.backtransform` region must report
+///   exactly the panel workers that were spawned (worker spans are
+///   recorded per thread, deterministic even on one core);
+/// * `panel_tasks` — the region's member tasks must equal
+///   `⌈ncols / PANEL_COLS⌉`: every fixed-width column panel claimed
+///   exactly once, none lost or duplicated by the queue.
+pub fn check_backtransform(n: usize, b: usize, k: usize) -> Vec<ModelRow> {
+    use tridiag_core::backtransform::{apply_blocks_panels, merge_q1_blocked_ws, release_blocks};
+    use tridiag_core::{band_reduce, AllocPool, PanelPools, PANEL_COLS};
+
+    let mut a = gen::random_symmetric(n, 71);
+    let factors = band_reduce(&mut a, b, 8).factors;
+    let footprints: Vec<(usize, usize, usize)> = factors
+        .iter()
+        .map(|(o, f)| (*o, f.w.nrows(), f.width()))
+        .collect();
+    let modeled_flops = crate::compose::backtransform_merge_flops(&footprints, k);
+
+    let workers = 2usize;
+    let mut c = gen::random(n, n, 72);
+    let mut pool = AllocPool;
+    let mut panel_pools = PanelPools::new();
+    let t = measure(|| {
+        let blocks = merge_q1_blocked_ws(&factors, k, &mut pool);
+        apply_blocks_panels(&blocks, &mut c, workers, &mut panel_pools);
+        release_blocks(blocks, &mut pool);
+    });
+    let (lanes, tasks) = t
+        .region_utilization()
+        .into_iter()
+        .find(|r| r.name == "parallel.backtransform")
+        .map(|r| (r.workers as f64, r.tasks as f64))
+        .unwrap_or((0.0, 0.0));
+    vec![
+        ModelRow {
+            kernel: "backtransform",
+            shape: (n, b, k),
+            quantity: "merge_flops",
+            measured: t.total(Counter::MergeFlops) as f64,
+            modeled: modeled_flops,
+            tol: TOLERANCE,
+        },
+        ModelRow {
+            kernel: "backtransform",
+            shape: (n, b, k),
+            quantity: "worker_lanes",
+            measured: lanes,
+            modeled: workers as f64,
+            tol: 0.0,
+        },
+        ModelRow {
+            kernel: "backtransform",
+            shape: (n, b, k),
+            quantity: "panel_tasks",
+            measured: tasks,
+            modeled: n.div_ceil(PANEL_COLS) as f64,
+            tol: 0.0,
+        },
+    ]
+}
+
 /// Tolerated wall-time ratio drift for the checker-overhead row: wall
 /// clocks see scheduler noise, so the budget is far looser than the
 /// counter comparisons (the EXPERIMENTS.md <2% overhead claim is measured
@@ -414,6 +485,27 @@ mod tests {
                 r.modeled,
                 r.rel_err() * 100.0
             );
+        }
+    }
+
+    /// Acceptance criterion: the `MergeFlops` instrumentation reconciles
+    /// exactly with the Algorithm-3 replay, and the panel region reports
+    /// its workers and tasks deterministically.
+    #[test]
+    fn backtransform_reconciles_with_merge_model() {
+        for (n, b, k) in [(64usize, 4usize, 16usize), (96, 8, 32)] {
+            for r in check_backtransform(n, b, k) {
+                assert!(
+                    r.within_tolerance(),
+                    "{} {:?} {}: measured {} vs model {} ({:.2}%)",
+                    r.kernel,
+                    r.shape,
+                    r.quantity,
+                    r.measured,
+                    r.modeled,
+                    r.rel_err() * 100.0
+                );
+            }
         }
     }
 

@@ -1,0 +1,33 @@
+//! The workspace-pool trait used by every `_ws` kernel variant.
+//!
+//! The trait was born in `tridiag-core::workspace` (PR 2) next to the
+//! band-reduction kernels that first consumed it, but the blocked back
+//! transformation pushed pooled scratch *below* the core crate: the
+//! [`crate::wblock`] merge/apply kernels need their `S`, `W₂'` and `WᵀC`
+//! intermediates from the pool too, and `tg-householder` sits underneath
+//! `tridiag-core` in the dependency graph. The trait therefore lives here —
+//! the lowest crate that needs it — and `tridiag_core::WorkspacePool`
+//! re-exports it, so existing callers and implementors (`AllocPool`, the
+//! `tg-batch` arena) are unaffected.
+//!
+//! **Determinism contract:** a pool must return buffers that are
+//! *bitwise-zero*, exactly like `Mat::zeros`. Under that contract the
+//! workspace-taking variants perform the identical floating-point
+//! operations as the allocating ones, so their outputs are
+//! bitwise-identical regardless of which pool is used.
+
+use tg_matrix::Mat;
+
+/// Supplies zeroed scratch matrices and accepts them back for reuse.
+///
+/// Implementations must return buffers indistinguishable from
+/// `Mat::zeros(rows, cols)`; everything else (caching policy, accounting,
+/// debug poisoning) is up to the pool.
+pub trait WorkspacePool {
+    /// Returns a zero-filled `rows × cols` matrix.
+    fn acquire(&mut self, rows: usize, cols: usize) -> Mat;
+
+    /// Hands a no-longer-needed buffer back to the pool. The pool may
+    /// recycle or drop it; the contents are dead.
+    fn release(&mut self, m: Mat);
+}

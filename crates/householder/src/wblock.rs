@@ -14,10 +14,28 @@
 //! * [`merge_to_width`] is the **Figure 13** production scheme: merge
 //!   *levels* of pairs with batched GEMMs until each accumulated block
 //!   reaches a target width `k`, then apply the few wide blocks.
+//!
+//! The `_ws` variants ([`merge_pair_ws`], [`merge_to_width_ws`],
+//! [`WyPair::apply_left_ws`]) draw every temporary — the `S = Y₁ᵀW₂` merge
+//! scratch, the concatenated wide `W`/`Y` storage, the `YᵀC` apply
+//! intermediate — from a [`WorkspacePool`] instead of the allocator. Under
+//! the pool's bitwise-zero contract they perform the identical
+//! floating-point operations as the allocating versions. Every merge path
+//! also tallies its arithmetic (4·rows·ka·kb flops per pair: two
+//! `rows × ka × kb` GEMMs) against [`tg_trace::Counter::MergeFlops`], which
+//! the gpu-sim model cross-check reconciles against the Algorithm-3 cost
+//! model.
 
+use crate::pool::WorkspacePool;
 use tg_blas::batched::{gemm_batched, GemmJob};
 use tg_blas::{gemm, gemm_into, Op};
 use tg_matrix::{Mat, MatMut};
+
+/// Tallies one pair merge (two `rows × ka × kb` GEMMs) against
+/// [`tg_trace::Counter::MergeFlops`].
+fn count_merge(rows: usize, ka: usize, kb: usize) {
+    tg_trace::add(tg_trace::Counter::MergeFlops, 4 * (rows * ka * kb) as u64);
+}
 
 /// One `(W, Y)` factor pair representing `I − W Yᵀ`.
 #[derive(Clone, Debug)]
@@ -44,6 +62,33 @@ impl WyPair {
             1.0,
             c,
         );
+    }
+
+    /// Like [`WyPair::apply_left`] but draws the `Yᵀ C` intermediate from
+    /// `pool`. Bitwise-identical to the allocating version for any pool
+    /// honoring the zero contract (the intermediate is consumed with
+    /// `beta = 0`, exactly as `gemm_into` computes it).
+    pub fn apply_left_ws(&self, c: &mut MatMut<'_>, pool: &mut dyn WorkspacePool) {
+        let mut x = pool.acquire(self.y.ncols(), c.ncols());
+        gemm(
+            1.0,
+            &self.y.as_ref(),
+            Op::Trans,
+            &c.rb(),
+            Op::NoTrans,
+            0.0,
+            &mut x.as_mut(),
+        );
+        gemm(
+            -1.0,
+            &self.w.as_ref(),
+            Op::NoTrans,
+            &x.as_ref(),
+            Op::NoTrans,
+            1.0,
+            c,
+        );
+        pool.release(x);
     }
 
     /// Applies `I − W Yᵀ` from the **right**: `C ← C − (C W) Yᵀ`.
@@ -83,6 +128,7 @@ pub fn merge_pair(a: &WyPair, b: &WyPair) -> WyPair {
     let n = a.w.nrows();
     assert_eq!(b.w.nrows(), n);
     let (ka, kb) = (a.width(), b.width());
+    count_merge(n, ka, kb);
     // S = Y₁ᵀ W₂  (ka × kb)
     let s = gemm_into(1.0, &a.y.as_ref(), Op::Trans, &b.w.as_ref(), Op::NoTrans);
     // W₂' = W₂ − W₁ S
@@ -102,6 +148,50 @@ pub fn merge_pair(a: &WyPair, b: &WyPair) -> WyPair {
     let mut y = Mat::zeros(n, ka + kb);
     y.view_mut(0, 0, n, ka).copy_from(&a.y.as_ref());
     y.view_mut(0, ka, n, kb).copy_from(&b.y.as_ref());
+    WyPair { w, y }
+}
+
+/// Like [`merge_pair`] but pool-backed: the `S` scratch and the merged
+/// `W`/`Y` storage come from `pool`. The returned pair's matrices are
+/// pool-acquired — the caller releases them (`pool.release(f.w)`,
+/// `pool.release(f.y)`) when the factor is retired. The *inputs* are
+/// borrowed and untouched; releasing them stays the caller's business.
+pub fn merge_pair_ws(a: &WyPair, b: &WyPair, pool: &mut dyn WorkspacePool) -> WyPair {
+    let n = a.w.nrows();
+    assert_eq!(b.w.nrows(), n);
+    let (ka, kb) = (a.width(), b.width());
+    count_merge(n, ka, kb);
+    // S = Y₁ᵀ W₂  (ka × kb)
+    let mut s = pool.acquire(ka, kb);
+    gemm(
+        1.0,
+        &a.y.as_ref(),
+        Op::Trans,
+        &b.w.as_ref(),
+        Op::NoTrans,
+        0.0,
+        &mut s.as_mut(),
+    );
+    let mut w = pool.acquire(n, ka + kb);
+    w.view_mut(0, 0, n, ka).copy_from(&a.w.as_ref());
+    {
+        // W₂' = W₂ − W₁ S, computed directly into the concatenation slot.
+        let mut w2 = w.view_mut(0, ka, n, kb);
+        w2.copy_from(&b.w.as_ref());
+        gemm(
+            -1.0,
+            &a.w.as_ref(),
+            Op::NoTrans,
+            &s.as_ref(),
+            Op::NoTrans,
+            1.0,
+            &mut w2,
+        );
+    }
+    let mut y = pool.acquire(n, ka + kb);
+    y.view_mut(0, 0, n, ka).copy_from(&a.y.as_ref());
+    y.view_mut(0, ka, n, kb).copy_from(&b.y.as_ref());
+    pool.release(s);
     WyPair { w, y }
 }
 
@@ -147,6 +237,9 @@ pub fn merge_to_width(mut pairs: Vec<WyPair>, target_k: usize) -> Vec<WyPair> {
         }
         // The per-level batched GEMM wave: S_i = Y₁ᵢᵀ W₂ᵢ for every pair at
         // once, then W₂ᵢ ← W₂ᵢ − W₁ᵢ Sᵢ for every pair at once.
+        for (a, b) in lefts.iter().zip(&rights) {
+            count_merge(a.w.nrows(), a.width(), b.width());
+        }
         let mut s: Vec<Mat> = lefts
             .iter()
             .zip(&rights)
@@ -195,6 +288,106 @@ pub fn merge_to_width(mut pairs: Vec<WyPair>, target_k: usize) -> Vec<WyPair> {
             let mut y = Mat::zeros(n, ka + kb);
             y.view_mut(0, 0, n, ka).copy_from(&a.y.as_ref());
             y.view_mut(0, ka, n, kb).copy_from(&b.y.as_ref());
+            next.push(WyPair { w, y });
+        }
+        if let Some(o) = odd {
+            next.push(o);
+        }
+        pairs = next;
+    }
+    pairs
+}
+
+/// Like [`merge_to_width`] but pool-backed. Every input pair's matrices
+/// **must** be pool-acquired (see [`merge_pair_ws`]); consumed pairs are
+/// released as they are merged away, and the returned wide pairs are
+/// pool-acquired for the caller to release. The per-level arithmetic is
+/// the same batched wave as the allocating version, so under the pool's
+/// zero contract the merged factors are bitwise-identical to
+/// [`merge_to_width`]'s.
+pub fn merge_to_width_ws(
+    mut pairs: Vec<WyPair>,
+    target_k: usize,
+    pool: &mut dyn WorkspacePool,
+) -> Vec<WyPair> {
+    assert!(!pairs.is_empty());
+    while pairs.len() > 1 && pairs[0].width() < target_k {
+        let mut next = Vec::with_capacity(pairs.len().div_ceil(2));
+        let mut iter = pairs.into_iter();
+        let mut lefts: Vec<WyPair> = Vec::new();
+        let mut rights: Vec<WyPair> = Vec::new();
+        let mut odd: Option<WyPair> = None;
+        loop {
+            match (iter.next(), iter.next()) {
+                (Some(a), Some(b)) => {
+                    lefts.push(a);
+                    rights.push(b);
+                }
+                (Some(a), None) => {
+                    odd = Some(a);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        for (a, b) in lefts.iter().zip(&rights) {
+            count_merge(a.w.nrows(), a.width(), b.width());
+        }
+        let mut s: Vec<Mat> = lefts
+            .iter()
+            .zip(&rights)
+            .map(|(a, b)| pool.acquire(a.width(), b.width()))
+            .collect();
+        {
+            let jobs = lefts
+                .iter()
+                .zip(&rights)
+                .zip(s.iter_mut())
+                .map(|((a, b), si)| GemmJob {
+                    alpha: 1.0,
+                    a: &a.y,
+                    op_a: Op::Trans,
+                    b: &b.w,
+                    op_b: Op::NoTrans,
+                    beta: 0.0,
+                    c: si,
+                })
+                .collect();
+            gemm_batched(jobs);
+        }
+        {
+            let jobs = lefts
+                .iter()
+                .zip(rights.iter_mut())
+                .zip(s.iter())
+                .map(|((a, b), si)| GemmJob {
+                    alpha: -1.0,
+                    a: &a.w,
+                    op_a: Op::NoTrans,
+                    b: si,
+                    op_b: Op::NoTrans,
+                    beta: 1.0,
+                    c: &mut b.w,
+                })
+                .collect();
+            gemm_batched(jobs);
+        }
+        for si in s {
+            pool.release(si);
+        }
+        for (a, b) in lefts.into_iter().zip(rights) {
+            let n = a.w.nrows();
+            let (ka, kb) = (a.width(), b.width());
+            let mut w = pool.acquire(n, ka + kb);
+            w.view_mut(0, 0, n, ka).copy_from(&a.w.as_ref());
+            w.view_mut(0, ka, n, kb).copy_from(&b.w.as_ref());
+            let mut y = pool.acquire(n, ka + kb);
+            y.view_mut(0, 0, n, ka).copy_from(&a.y.as_ref());
+            y.view_mut(0, ka, n, kb).copy_from(&b.y.as_ref());
+            pool.release(a.w);
+            pool.release(a.y);
+            pool.release(b.w);
+            pool.release(b.y);
             next.push(WyPair { w, y });
         }
         if let Some(o) = odd {
@@ -282,6 +475,68 @@ mod tests {
         assert!(max_abs_diff(&got, &expect) < 1e-11);
         let total: usize = wide.iter().map(|f| f.width()).sum();
         assert_eq!(total, 10);
+    }
+
+    /// Minimal conforming pool for the `_ws` tests (the production pools
+    /// live upstack in `tridiag-core` / `tg-batch`).
+    struct ZeroPool;
+    impl crate::pool::WorkspacePool for ZeroPool {
+        fn acquire(&mut self, rows: usize, cols: usize) -> Mat {
+            Mat::zeros(rows, cols)
+        }
+        fn release(&mut self, _m: Mat) {}
+    }
+
+    #[test]
+    fn merge_pair_ws_is_bitwise_identical() {
+        let n = 12;
+        let a = random_factor(n, 3, 81);
+        let b = random_factor(n, 3, 82);
+        let plain = merge_pair(&a, &b);
+        let pooled = merge_pair_ws(&a, &b, &mut ZeroPool);
+        assert_eq!(plain.w, pooled.w);
+        assert_eq!(plain.y, pooled.y);
+    }
+
+    #[test]
+    fn merge_to_width_ws_is_bitwise_identical() {
+        let n = 20;
+        for p in [3usize, 4, 5, 8] {
+            let factors: Vec<WyPair> = (0..p).map(|i| random_factor(n, 2, 90 + i as u64)).collect();
+            let plain = merge_to_width(factors.clone(), 8);
+            let pooled = merge_to_width_ws(factors, 8, &mut ZeroPool);
+            assert_eq!(plain.len(), pooled.len(), "p = {p}");
+            for (a, b) in plain.iter().zip(&pooled) {
+                assert_eq!(a.w, b.w, "p = {p}");
+                assert_eq!(a.y, b.y, "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_left_ws_is_bitwise_identical() {
+        let n = 16;
+        let f = random_factor(n, 4, 99);
+        let c0 = gen::random(n, 6, 100);
+        let mut plain = c0.clone();
+        f.apply_left(&mut plain.as_mut());
+        let mut pooled = c0;
+        f.apply_left_ws(&mut pooled.as_mut(), &mut ZeroPool);
+        assert_eq!(plain, pooled);
+    }
+
+    #[test]
+    fn merges_tally_merge_flops() {
+        let n = 12;
+        let a = random_factor(n, 3, 110);
+        let b = random_factor(n, 2, 111);
+        let session = tg_trace::TraceSession::begin();
+        let _ = merge_pair(&a, &b);
+        let trace = session.finish();
+        assert_eq!(
+            trace.total(tg_trace::Counter::MergeFlops),
+            4 * (n * 3 * 2) as u64
+        );
     }
 
     #[test]

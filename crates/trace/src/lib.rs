@@ -91,10 +91,15 @@ pub enum Counter {
     /// Submissions that attached to an identical in-flight job instead of
     /// entering the worker queue (`tg-serve` request coalescing).
     JobsCoalesced,
+    /// Flops spent merging WY factors in the blocked back transformation
+    /// (Algorithm 3 / Figure 13). Kept separate from [`Counter::Flops`] so
+    /// the merge *overhead* of the width-`k` scheme can be reconciled
+    /// against the gpu-sim cost model independently of the apply GEMMs.
+    MergeFlops,
 }
 
 /// Number of [`Counter`] kinds (length of per-span counter arrays).
-pub const N_COUNTERS: usize = 18;
+pub const N_COUNTERS: usize = 19;
 
 impl Counter {
     pub const ALL: [Counter; N_COUNTERS] = [
@@ -116,6 +121,7 @@ impl Counter {
         Counter::CacheMiss,
         Counter::CacheEvictedBytes,
         Counter::JobsCoalesced,
+        Counter::MergeFlops,
     ];
 
     fn index(self) -> usize {
@@ -138,6 +144,7 @@ impl Counter {
             Counter::CacheMiss => 15,
             Counter::CacheEvictedBytes => 16,
             Counter::JobsCoalesced => 17,
+            Counter::MergeFlops => 18,
         }
     }
 
@@ -162,6 +169,7 @@ impl Counter {
             Counter::CacheMiss => "cache_misses",
             Counter::CacheEvictedBytes => "cache_evicted_bytes",
             Counter::JobsCoalesced => "jobs_coalesced",
+            Counter::MergeFlops => "merge_flops",
         }
     }
 }

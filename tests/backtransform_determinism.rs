@@ -1,0 +1,154 @@
+//! Determinism contract for the parallel blocked back transformation.
+//!
+//! The panel-parallel Figure-13 path promises more than "numerically
+//! close": panel boundaries are fixed (`PANEL_COLS`), every panel applies
+//! the same shared read-only block list in the same order, and workers
+//! only *claim* panels — they never split or reorder the arithmetic
+//! inside one. The result must therefore be **bitwise identical** across
+//! every worker count and every pool implementation. These tests hammer
+//! that promise for both two-stage pipelines (SBR and DBBR) with
+//! `workers ∈ {1, 2, 4, 7}` (including a deliberately odd, non-divisor
+//! count) and repeated runs, and pin the blocked path to the conventional
+//! reflector-by-reflector apply within numerical tolerance.
+
+use tridiag_gpu::core::{AllocPool, CachingPool, PanelPools};
+use tridiag_gpu::prelude::*;
+
+fn assert_mat_bitwise(a: &Mat, b: &Mat, ctx: &str) {
+    assert_eq!(a.nrows(), b.nrows(), "{ctx}: nrows");
+    assert_eq!(a.ncols(), b.ncols(), "{ctx}: ncols");
+    for i in 0..a.nrows() {
+        for j in 0..a.ncols() {
+            assert!(
+                a[(i, j)].to_bits() == b[(i, j)].to_bits(),
+                "{ctx}: ({i},{j}) {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+fn methods() -> Vec<(&'static str, Method)> {
+    vec![
+        (
+            "sbr",
+            Method::Sbr {
+                b: 4,
+                parallel_sweeps: 2,
+            },
+        ),
+        (
+            "dbbr",
+            Method::Dbbr {
+                cfg: DbbrConfig::new(4, 16),
+                parallel_sweeps: 2,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn blocked_parallel_bitwise_matches_serial_across_worker_counts() {
+    let n = 56; // not a multiple of PANEL_COLS: exercises the ragged panel
+    for (name, method) in methods() {
+        let red = tridiagonalize(&mut gen::random_symmetric(n, 11), &method);
+        let c0 = gen::random(n, n, 12);
+
+        let mut serial = c0.clone();
+        red.apply_q_blocked_ws_with(&mut serial, 16, &mut AllocPool, 1, &mut PanelPools::new());
+
+        for &workers in &[2usize, 4, 7] {
+            let mut pools = PanelPools::new();
+            let mut par = c0.clone();
+            red.apply_q_blocked_ws_with(&mut par, 16, &mut AllocPool, workers, &mut pools);
+            assert_mat_bitwise(
+                &serial,
+                &par,
+                &format!("{name} workers={workers} vs serial"),
+            );
+            // repeats: different thread interleavings and warm panel
+            // pools, same bits
+            for rep in 0..2 {
+                let mut again = c0.clone();
+                red.apply_q_blocked_ws_with(&mut again, 16, &mut AllocPool, workers, &mut pools);
+                assert_mat_bitwise(
+                    &serial,
+                    &again,
+                    &format!("{name} workers={workers} repeat {rep}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn caching_pool_is_bitwise_equal_to_alloc_pool() {
+    // PR-4 workspace contract: pool-acquired buffers are zeroed on reuse,
+    // so swapping the allocator never changes a single bit — even when
+    // the caching pool and panel pools are reused across applies.
+    let n = 48;
+    for (name, method) in methods() {
+        let red = tridiagonalize(&mut gen::random_symmetric(n, 21), &method);
+        let c0 = gen::random(n, n, 22);
+
+        let mut reference = c0.clone();
+        red.apply_q_blocked_ws_with(
+            &mut reference,
+            16,
+            &mut AllocPool,
+            2,
+            &mut PanelPools::new(),
+        );
+
+        let mut cache = CachingPool::new();
+        let mut pools = PanelPools::new();
+        for rep in 0..3 {
+            let mut got = c0.clone();
+            red.apply_q_blocked_ws_with(&mut got, 16, &mut cache, 2, &mut pools);
+            assert_mat_bitwise(&reference, &got, &format!("{name} caching rep {rep}"));
+        }
+    }
+}
+
+#[test]
+fn blocked_path_matches_conventional_apply_within_tolerance() {
+    // The blocked path regroups the arithmetic (merged W blocks, panel
+    // GEMMs), so it is not bitwise-equal to the reflector-by-reflector
+    // apply — but both compute Q·C and must agree to rounding error.
+    let n = 48;
+    for (name, method) in methods() {
+        let red = tridiagonalize(&mut gen::random_symmetric(n, 31), &method);
+        let c0 = gen::random(n, n, 32);
+
+        let mut conventional = c0.clone();
+        red.apply_q(&mut conventional);
+
+        let mut blocked = c0.clone();
+        red.apply_q_blocked_ws_with(&mut blocked, 16, &mut AllocPool, 4, &mut PanelPools::new());
+
+        let mut max_diff = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                max_diff = max_diff.max((conventional[(i, j)] - blocked[(i, j)]).abs());
+            }
+        }
+        assert!(max_diff < 1e-11, "{name}: max |diff| = {max_diff:e}");
+    }
+}
+
+#[test]
+fn direct_method_falls_back_to_reflector_apply() {
+    // The one-stage pipeline has no W factors to merge; the pooled entry
+    // point must degrade to the ormqr-style apply, bitwise.
+    let n = 40;
+    let red = tridiagonalize(&mut gen::random_symmetric(n, 41), &Method::Direct { nb: 8 });
+    let c0 = gen::random(n, n, 42);
+
+    let mut conventional = c0.clone();
+    red.apply_q(&mut conventional);
+
+    let mut blocked = c0.clone();
+    red.apply_q_blocked_ws_with(&mut blocked, 16, &mut AllocPool, 4, &mut PanelPools::new());
+    assert_mat_bitwise(&conventional, &blocked, "direct fallback");
+}
