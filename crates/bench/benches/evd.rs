@@ -20,6 +20,7 @@ fn bench_evd(c: &mut Criterion) {
                 k: 32,
                 parallel_sweeps: 4,
                 backtransform_k: 64,
+                lookahead: true,
             },
         ),
     ];

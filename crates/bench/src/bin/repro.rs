@@ -36,6 +36,10 @@
 //!                           # panel-parallel -> BENCH_PR9.json; --ci gates
 //!                           # a 0.7x parallel-vs-serial floor and >=90%
 //!                           # panel-pool steady-state hit rate
+//! repro stage1_sweep [--ci] [--reps k] [--out path]
+//!                           # stage-1 DBBR: serial deferred update vs
+//!                           # depth-1 look-ahead -> BENCH_PR10.json; --ci
+//!                           # gates a 0.7x lookahead-vs-serial floor
 //! repro perf_diff <base.json> <cand.json> [--advisory] [--tol x]
 //!                           # noise-aware perf-regression gate over two sweep artifacts
 //! repro batch_scaling       # batched EVD: modeled GPU scaling + measured CPU-scale run
@@ -86,6 +90,7 @@ fn main() {
         }
         "gemm_sweep" => gemm_sweep(&args[1..]),
         "backtransform_sweep" => backtransform_sweep(&args[1..]),
+        "stage1_sweep" => stage1_sweep(&args[1..]),
         "perf_diff" => perf_diff(&args[1..]),
         "anchors" => anchors(),
         "ablation" => ablation(),
@@ -115,7 +120,7 @@ fn main() {
         "json" => json_dump(),
         other => {
             eprintln!("unknown subcommand: {other}");
-            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|backtransform_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign [--serve]|serve_soak [--seconds s] [--n size] [--rate-mult x] [--trace-out path]|cache_soak [--ci] [--seconds s] [--n size] [--pool p] [--zipf a] [--trace-out path]|batch_scaling|model_vs_measured|json]");
+            eprintln!("usage: repro [all|table1|fig4|fig5|fig8|fig9|fig11|fig12|fig14|fig15|fig16|measured [n]|gemm_sweep [--ci] [--reps k] [--out path]|backtransform_sweep [--ci] [--reps k] [--out path]|stage1_sweep [--ci] [--reps k] [--out path]|perf_diff <base> <cand> [--advisory] [--tol x]|verify [n]|golden_regen|fault_campaign [--serve]|serve_soak [--seconds s] [--n size] [--rate-mult x] [--trace-out path]|cache_soak [--ci] [--seconds s] [--n size] [--pool p] [--zipf a] [--trace-out path]|batch_scaling|model_vs_measured|json]");
             std::process::exit(2);
         }
     }
@@ -621,6 +626,83 @@ fn backtransform_sweep(args: &[String]) {
     println!("wrote {out_path}");
 }
 
+fn stage1_sweep(args: &[String]) {
+    let ci = args.iter().any(|a| a == "--ci");
+    let reps = flag_value(args, "--reps")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3);
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR10.json");
+    let threads = tg_blas::worker_threads();
+    let shapes: &[(usize, usize, usize)] = if ci {
+        &[(192, 8, 32), (256, 8, 64)]
+    } else {
+        &[(96, 4, 16), (128, 8, 32), (192, 8, 32), (256, 8, 64)]
+    };
+    println!(
+        "== stage-1 look-ahead sweep ({threads} worker threads, {} grid, median of {reps}) ==\n",
+        if ci { "reduced CI" } else { "full" }
+    );
+    let ms = measured::stage1_sweep_reps(shapes, reps);
+    println!(
+        "{}",
+        render_table(
+            "measured: stage-1 band reduction, serial deferred update vs depth-1 look-ahead",
+            &["kernel", "n", "time", "GFLOP/s"],
+            &measured::to_rows(&ms)
+        )
+    );
+
+    if ci {
+        for &(n, b, k) in shapes {
+            let find = |prefix: &str| {
+                ms.iter()
+                    .find(|m| {
+                        m.param == n
+                            && m.label.starts_with(prefix)
+                            && m.label.ends_with(&format!("b={b},k={k})"))
+                    })
+                    .unwrap_or_else(|| panic!("{prefix} row for n={n}"))
+            };
+            let serial = find("dbbr-serial");
+            let la = find("dbbr-lookahead");
+            if la.gflops < 0.7 * serial.gflops {
+                eprintln!(
+                    "stage1_sweep: look-ahead fell below the sanity floor at n = {n}: \
+                     {:.2} GFLOP/s vs {:.2} GFLOP/s serial",
+                    la.gflops, serial.gflops
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("sanity floors passed: dbbr-lookahead >= 0.7x dbbr-serial at every shape");
+        return;
+    }
+
+    let row = |m: &tg_bench::measured::Measurement| {
+        serde_json::json!({
+            "kernel": m.label,
+            "param": m.param,
+            "seconds": m.seconds,
+            "gflops": m.gflops,
+        })
+    };
+    let out = serde_json::json!({
+        "schema_version": tg_bench::perf_diff::SCHEMA_VERSION,
+        "git_rev": git_revision(),
+        "tg_threads": threads,
+        "reps": reps,
+        "host_threads": threads,
+        "note": "median-of-reps stage-1 sweep (4/3 n^3 flop convention); \
+                 look-ahead rows are bitwise-identical to serial by construction",
+        "stage1": serde_json::json!({
+            "rows": ms.iter().map(row).collect::<Vec<_>>(),
+        }),
+    });
+    std::fs::write(out_path, serde_json::to_string_pretty(&out).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
 /// Value of `--flag <value>` in `args`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -972,6 +1054,7 @@ fn fault_workload() {
         k: 32,
         parallel_sweeps: 3,
         backtransform_k: 32,
+        lookahead: true,
     };
     let scheduler = tg_batch::BatchScheduler::new(1);
     // Faulted runs may legitimately fail numerically (NaN/Inf propagate
@@ -1078,6 +1161,7 @@ fn fault_campaign_serve() {
         k: 32,
         parallel_sweeps: 3,
         backtransform_k: 32,
+        lookahead: true,
     };
     let workers: usize = 2;
     let queue_cap: usize = 4;
@@ -1746,6 +1830,7 @@ fn model_vs_measured() {
     rows.extend(model_check::check_checker_overhead(96));
     rows.extend(model_check::check_utilization(96, 8, 4));
     rows.extend(model_check::check_backtransform(96, 8, 32));
+    rows.extend(model_check::check_stage1_overlap(72, 8, 16));
     print!("{}", model_check::report(&rows));
     if rows.iter().any(|r| !r.within_tolerance()) {
         std::process::exit(1);

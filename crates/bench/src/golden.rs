@@ -42,6 +42,7 @@ pub fn compute_entry(n: usize, b: usize, k: usize, seed: u64) -> GoldenEntry {
         k,
         parallel_sweeps: PARALLEL_SWEEPS,
         backtransform_k: k,
+        lookahead: true,
     };
     let evd = syevd(&mut a.clone(), &method, true).expect("syevd on corpus matrix");
     let q = evd.eigenvectors.as_ref().expect("vectors requested");

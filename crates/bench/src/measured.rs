@@ -290,6 +290,7 @@ pub fn evd_compare(n: usize, vectors: bool) -> Vec<Measurement> {
                 k: 4 * b,
                 parallel_sweeps: 4,
                 backtransform_k: 8 * b,
+                lookahead: true,
             },
         ),
     ];
@@ -473,6 +474,66 @@ pub fn backtransform_sweep_reps(
     (out, hit_rate)
 }
 
+/// Measured stage-1 (DBBR band reduction) throughput, serial deferred
+/// update vs depth-1 look-ahead, at each `(n, b, k)` shape.
+///
+/// Every timed look-ahead run is compared **bitwise** (band and WY
+/// factors) against the serial reference before its time is reported —
+/// a benchmark row for a wrong answer is worse than no row.
+pub fn stage1_sweep_reps(shapes: &[(usize, usize, usize)], reps: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for (si, &(n, b, k)) in shapes.iter().enumerate() {
+        let a0 = gen::random_symmetric(n, 4900 + si as u64);
+        let mut serial_cfg = DbbrConfig::new(b, k);
+        // Small syr2k blocks so the sb-aligned column split leaves work on
+        // both sides of the fence at CPU-scale n.
+        serial_cfg.nb_syr2k = 8;
+        serial_cfg.lookahead = false;
+        let mut la_cfg = serial_cfg.clone();
+        la_cfg.lookahead = true;
+        // 4/3 n^3: the stage-1 flop convention (half of a full one-stage
+        // tridiagonalization's 8/3 n^3 lands in the band reduction).
+        let flops = 4.0 / 3.0 * (n as f64).powi(3);
+
+        let reference = dbbr(&mut a0.clone(), &serial_cfg);
+        let t = median_time(reps, || {
+            let _ = dbbr(&mut a0.clone(), &serial_cfg);
+        });
+        out.push(Measurement {
+            label: format!("dbbr-serial(b={b},k={k})"),
+            param: n,
+            seconds: t,
+            gflops: flops / t / 1e9,
+        });
+
+        let mut la_red = None;
+        let t = median_time(reps, || {
+            la_red = Some(dbbr(&mut a0.clone(), &la_cfg));
+        });
+        let la_red = la_red.expect("reps >= 1");
+        assert_eq!(
+            la_red.band, reference.band,
+            "look-ahead band diverged from serial (n={n},b={b},k={k})"
+        );
+        assert_eq!(la_red.factors.len(), reference.factors.len());
+        for ((o1, f1), (o2, f2)) in la_red.factors.iter().zip(&reference.factors) {
+            assert_eq!(o1, o2);
+            assert_eq!(
+                (f1.w == f2.w, f1.y == f2.y),
+                (true, true),
+                "look-ahead WY factors diverged from serial (n={n},b={b},k={k})"
+            );
+        }
+        out.push(Measurement {
+            label: format!("dbbr-lookahead(b={b},k={k})"),
+            param: n,
+            seconds: t,
+            gflops: flops / t / 1e9,
+        });
+    }
+    out
+}
+
 /// One verification check outcome.
 #[derive(Clone, Debug)]
 pub struct Check {
@@ -653,5 +714,13 @@ mod tests {
         assert_eq!(ms.len(), 3);
         assert!(ms.iter().all(|m| m.seconds > 0.0 && m.gflops > 0.0));
         assert!(hit_rate >= 0.9, "steady-state hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn stage1_sweep_is_bitwise_checked() {
+        // The look-ahead-vs-serial bitwise assert lives inside the sweep.
+        let ms = stage1_sweep_reps(&[(64, 4, 16)], 2);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.seconds > 0.0 && m.gflops > 0.0));
     }
 }

@@ -13,7 +13,7 @@
 //!   beyond any plausible scheduler noise on the rows we track.
 //!
 //! Tolerances are per kernel: parallel drivers (`packed-parallel`,
-//! `bc_pipelined`, `scheduler_w*`) get a looser budget because their times
+//! `bc_pipelined`, `scheduler_w*`, `dbbr-lookahead`) get a looser budget because their times
 //! depend on how the host schedules worker threads; serial kernels get a
 //! tighter one. Artifacts produced with `--reps k > 1` store median-of-k
 //! times (see [`crate::measured`]), which is what makes these budgets
@@ -44,7 +44,7 @@ pub const HARD_FLOOR: f64 = 0.5;
 /// One measurement row extracted from an artifact.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRow {
-    /// Row group: `"gemm"`, `"syr2k"`, or `"backtransform"`.
+    /// Row group: `"gemm"`, `"syr2k"`, `"backtransform"`, or `"stage1"`.
     pub group: String,
     /// Kernel label (e.g. `packed-serial`).
     pub kernel: String,
@@ -119,11 +119,13 @@ pub fn load_bench(text: &str) -> Result<BenchFile, String> {
     if let Some(bt) = v.get("backtransform").and_then(|s| s.get("rows")) {
         parse_rows("backtransform", bt, &mut rows)?;
     }
+    if let Some(s1) = v.get("stage1").and_then(|s| s.get("rows")) {
+        parse_rows("stage1", s1, &mut rows)?;
+    }
     if rows.is_empty() {
-        return Err(
-            "no measurement rows (expected `gemm`, `syr2k.rows`, and/or `backtransform.rows`)"
-                .into(),
-        );
+        return Err("no measurement rows (expected `gemm`, `syr2k.rows`, \
+                    `backtransform.rows`, and/or `stage1.rows`)"
+            .into());
     }
     Ok(BenchFile {
         schema_version,
@@ -142,7 +144,11 @@ pub fn load_bench(text: &str) -> Result<BenchFile, String> {
 
 /// Per-kernel relative tolerance (see module docs).
 pub fn kernel_tolerance(kernel: &str) -> f64 {
-    if kernel.contains("parallel") || kernel.contains("pipelined") || kernel.contains("scheduler") {
+    if kernel.contains("parallel")
+        || kernel.contains("pipelined")
+        || kernel.contains("scheduler")
+        || kernel.contains("lookahead")
+    {
         PARALLEL_TOL
     } else {
         SERIAL_TOL
@@ -518,6 +524,45 @@ mod tests {
         // existing substring match.
         let par = &f.rows[1];
         assert_eq!(kernel_tolerance(&par.kernel), PARALLEL_TOL);
+        let report = diff(&f, &f, None).unwrap();
+        assert_eq!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn parses_stage1_group() {
+        let text = r#"{
+  "schema_version": 2,
+  "tg_threads": 4,
+  "stage1": {
+    "rows": [
+      {"kernel": "dbbr-serial(b=8,k=32)", "param": 192, "seconds": 0.05, "gflops": 3.0},
+      {"kernel": "dbbr-lookahead(b=8,k=32)", "param": 192, "seconds": 0.04, "gflops": 3.7}
+    ]
+  }
+}"#;
+        let f = load_bench(text).unwrap();
+        assert_eq!(f.rows.len(), 2);
+        assert!(f.rows.iter().all(|r| r.group == "stage1"));
+        // Look-ahead rows run a concurrent panel worker, so they pick up
+        // the looser parallel budget; the serial rows stay on the tight one.
+        assert_eq!(kernel_tolerance(&f.rows[0].kernel), SERIAL_TOL);
+        assert_eq!(kernel_tolerance(&f.rows[1].kernel), PARALLEL_TOL);
+        let report = diff(&f, &f, None).unwrap();
+        assert_eq!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn committed_bench_pr10_self_compares_clean() {
+        // Acceptance criterion: `repro perf_diff BENCH_PR10.json
+        // BENCH_PR10.json` exits 0.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_PR10.json"
+        ))
+        .expect("committed BENCH_PR10.json");
+        let f = load_bench(&text).unwrap();
+        assert_eq!(f.schema_version, SCHEMA_VERSION);
+        assert!(f.rows.iter().any(|r| r.group == "stage1"));
         let report = diff(&f, &f, None).unwrap();
         assert_eq!(report.exit_code(false), 0);
     }

@@ -41,11 +41,41 @@ pub fn syr2k_blocked(
     c: &mut MatMut<'_>,
     nb: usize,
 ) {
+    let n = c.nrows();
+    syr2k_blocked_head(alpha, a, b, beta, c, nb, n);
+}
+
+/// Head-bounded variant of [`syr2k_blocked`]: updates only the first
+/// `head_cols` column panels of `C`'s lower triangle (rows still run all
+/// the way to the bottom, so the updated region is the full-height strip
+/// `C[.., ..head_cols]` below the diagonal).
+///
+/// `head_cols` must equal `n` or be a multiple of `nb`, so the head call's
+/// panel boundaries coincide with those of a single unsplit call. Under
+/// that alignment, a head call followed by a plain [`syr2k_blocked`] on the
+/// square trailing subview `C[head.., head..]` (with `A`/`B` row-offset by
+/// `head`) touches every lower-triangle element exactly once, via the same
+/// panel task and the same serial inner arithmetic as the unsplit call —
+/// the split is therefore **bitwise-identical** to one full call. This is
+/// the contract DBBR's stage-1 look-ahead relies on.
+pub fn syr2k_blocked_head(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    nb: usize,
+    head_cols: usize,
+) {
     let (n, _k) = check_shapes(a, b, c);
     assert!(nb > 0);
+    assert!(
+        head_cols <= n && (head_cols == n || head_cols.is_multiple_of(nb)),
+        "head_cols must be n or nb-aligned for the bitwise split contract"
+    );
     let _span = tg_trace::span_cat("blas.syr2k_blocked", "kernel", Some(("n", n as u64)));
     let mut j = 0;
-    while j < n {
+    while j < head_cols {
         let w = nb.min(n - j);
         // diagonal block (triangular part)
         {
@@ -67,7 +97,9 @@ pub fn syr2k_blocked(
         }
         j += w;
     }
-    inject_output_fault(c);
+    if head_cols > 0 {
+        inject_output_fault(c);
+    }
 }
 
 /// tg-check fault hook (site `blas.syr2k`): corrupts one lower-triangle
@@ -121,10 +153,42 @@ pub fn syr2k_square(
     nb: usize,
     g: usize,
 ) {
+    let n = c.nrows();
+    syr2k_square_head(alpha, a, b, beta, c, nb, g, n);
+}
+
+/// Head-bounded variant of [`syr2k_square`]: processes only the column
+/// super-blocks anchored at `j0 < head_cols` (with their full row extent),
+/// i.e. the full-height strip `C[.., ..head_cols]` below the diagonal.
+///
+/// `head_cols` must equal `n` or be a multiple of the super-block size
+/// `sb = nb·g`. Because the Figure-7 grid is anchored at `C`'s origin, an
+/// sb-aligned head keeps every super-block boundary where the unsplit call
+/// would put it, and a follow-up [`syr2k_square`] on the trailing subview
+/// `C[head.., head..]` (with `A`/`B` row-offset by `head`) re-creates the
+/// remaining tasks of the same grid exactly. Each element is computed by
+/// the same task with the same serial inner arithmetic either way, so
+/// head + tail is **bitwise-identical** to one full call — the contract
+/// DBBR's stage-1 look-ahead relies on.
+#[allow(clippy::too_many_arguments)] // the BLAS-style signature plus the split point
+pub fn syr2k_square_head(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    nb: usize,
+    g: usize,
+    head_cols: usize,
+) {
     let (n, _k) = check_shapes(a, b, c);
     assert!(nb > 0 && g > 0);
     let _span = tg_trace::span_cat("blas.syr2k_square", "kernel", Some(("n", n as u64)));
     let sb = nb * g;
+    assert!(
+        head_cols <= n && (head_cols == n || head_cols.is_multiple_of(sb)),
+        "head_cols must be n or sb-aligned for the bitwise split contract"
+    );
 
     // Carve the lower triangle into a 2D grid of element-disjoint mutable
     // super-blocks: per column super-block, split off the (untouched) rows
@@ -135,7 +199,7 @@ pub fn syr2k_square(
     {
         let mut rest = c.rb_mut();
         let mut j0 = 0;
-        while j0 < n {
+        while j0 < head_cols {
             let w = sb.min(n - j0);
             let (colblk, tail) = rest.split_at_col(w);
             rest = tail;
@@ -274,6 +338,82 @@ mod tests {
         check_matches_ref(24, 6, 4, 3, 104); // g = 3
         check_matches_ref(9, 2, 3, 1, 105); // g = 1 degenerate
         check_matches_ref(1, 1, 4, 2, 106); // trivial
+    }
+
+    /// The look-ahead contract: an aligned head call plus a plain call on
+    /// the square trailing subview must be bitwise-identical to one full
+    /// call, for both blockings and across ragged shapes.
+    #[test]
+    fn head_plus_tail_is_bitwise_identical_to_full() {
+        for &(n, k, nb, g, head, seed) in &[
+            (24usize, 4usize, 4usize, 2usize, 8usize, 400u64),
+            (29, 5, 4, 2, 16, 401), // ragged bottom edge
+            (17, 3, 4, 1, 4, 402),
+            (33, 6, 8, 2, 16, 403),
+            (16, 4, 4, 2, 0, 404),  // empty head: tail call does everything
+            (16, 4, 4, 2, 16, 405), // full head: tail is empty
+        ] {
+            let a = gen::random(n, k, seed);
+            let b = gen::random(n, k, seed + 1);
+            let c0 = gen::random_symmetric(n, seed + 2);
+
+            for square in [false, true] {
+                let mut full = c0.clone();
+                let mut split = c0.clone();
+                if square {
+                    syr2k_square(
+                        -1.0,
+                        &a.as_ref(),
+                        &b.as_ref(),
+                        1.0,
+                        &mut full.as_mut(),
+                        nb,
+                        g,
+                    );
+                    syr2k_square_head(
+                        -1.0,
+                        &a.as_ref(),
+                        &b.as_ref(),
+                        1.0,
+                        &mut split.as_mut(),
+                        nb,
+                        g,
+                        head,
+                    );
+                } else {
+                    syr2k_blocked(-1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut full.as_mut(), nb);
+                    syr2k_blocked_head(
+                        -1.0,
+                        &a.as_ref(),
+                        &b.as_ref(),
+                        1.0,
+                        &mut split.as_mut(),
+                        nb,
+                        head,
+                    );
+                }
+                if head < n {
+                    let m = n - head;
+                    let at = a.view(head, 0, m, k);
+                    let bt = b.view(head, 0, m, k);
+                    let mut tail = split.view_mut(head, head, m, m);
+                    if square {
+                        syr2k_square(-1.0, &at, &bt, 1.0, &mut tail, nb, g);
+                    } else {
+                        syr2k_blocked(-1.0, &at, &bt, 1.0, &mut tail, nb);
+                    }
+                }
+                for j in 0..n {
+                    for i in j..n {
+                        assert_eq!(
+                            split[(i, j)].to_bits(),
+                            full[(i, j)].to_bits(),
+                            "split differs at ({i},{j}) n={n} head={head} square={square}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

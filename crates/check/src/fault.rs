@@ -16,6 +16,7 @@
 //! | `evd.values`      | eigenvalues after the tridiagonal solve (syevd)       |
 //! | `backtransform.q` | eigenvector matrix after the back-transform (syevd)   |
 //! | `blas.syr2k`      | output tile of the blocked SYR2K update (tg-blas)     |
+//! | `blas.panel_qr`   | panel `W` factor after the stage-1 panel QR (dbbr)    |
 //! | `arena.acquire`   | skips the arena's zero-fill on a buffer reuse hit     |
 //!
 //! Everything is seed-deterministic: [`FaultPlan::campaign`] derives kinds
@@ -62,12 +63,13 @@ pub struct FaultPlan {
 }
 
 /// Every site the pipelines expose, in pipeline order.
-pub const SITES: [&str; 6] = [
+pub const SITES: [&str; 7] = [
     "stage1.band",
     "bc.tri",
     "evd.values",
     "backtransform.q",
     "blas.syr2k",
+    "blas.panel_qr",
     "arena.acquire",
 ];
 

@@ -1,8 +1,8 @@
 //! `tridiag` — command-line symmetric eigensolver.
 //!
 //! ```text
-//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]
-//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--backtransform-k K] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
+//! tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--no-lookahead] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]
+//! tridiag evd      <in.mtx> <out-values.mtx> <out-vectors.mtx> [--method …] [--backtransform-k K] [--no-lookahead] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag reduce   <in.mtx> <out-tridiag.mtx> [--method …] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag batch    --count N --n SIZE [--threads T] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
 //! tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--cache-mb M] [--dedup] [--method …] [--seed S] [--vectors] [--trace …] [--profile] [--timeline] [--flamegraph …] [--check]
@@ -34,8 +34,8 @@ use tridiag_core::{tridiagonalize, Method};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]\n  \
-         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--backtransform-k K] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
+        "usage:\n  tridiag eigvals  <in.mtx> [--method direct|magma|proposed] [--no-lookahead] [--trace out.json] [--profile] [--timeline] [--flamegraph out.txt] [--check]\n  \
+         tridiag evd      <in.mtx> <values.mtx> <vectors.mtx> [--method ...] [--backtransform-k K] [--no-lookahead] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag reduce   <in.mtx> <out.mtx> [--method ...] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag batch    --count N --n SIZE [--threads T] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
          tridiag serve    --jobs N --n SIZE [--threads T] [--deadline-ms D] [--queue-cap C] [--retries R] [--rate-hz HZ] [--cache-mb M] [--dedup] [--method ...] [--seed S] [--vectors] [--trace ...] [--profile] [--timeline] [--flamegraph ...] [--check]\n  \
@@ -67,6 +67,7 @@ struct Opts {
     cache_mb: u64,
     dedup: bool,
     backtransform_k: Option<usize>,
+    no_lookahead: bool,
     trace: Option<String>,
     profile: bool,
     timeline: bool,
@@ -92,6 +93,7 @@ fn parse_opts(args: &[String]) -> Opts {
         cache_mb: 0,
         dedup: false,
         backtransform_k: None,
+        no_lookahead: false,
         trace: None,
         profile: false,
         timeline: false,
@@ -173,6 +175,7 @@ fn parse_opts(args: &[String]) -> Opts {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--no-lookahead" => o.no_lookahead = true,
             "--kind" => o.kind = it.next().cloned().unwrap_or_else(|| usage()),
             "--seed" => {
                 o.seed = it
@@ -223,21 +226,32 @@ fn evd_method(o: &Opts, n: usize) -> EvdMethod {
             {
                 *backtransform_k = k.clamp(1, n.max(1));
             }
+            // `--no-lookahead` falls back to the serial stage-1 panel
+            // order (bitwise-identical output; see docs/PERFORMANCE.md).
+            if let EvdMethod::Proposed { lookahead, .. } = &mut m {
+                *lookahead = !o.no_lookahead;
+            }
             m
         }
         other => fail(format!("unknown method: {other}")),
     }
 }
 
-fn tridiag_method(name: &str, n: usize) -> Method {
+fn tridiag_method(o: &Opts, n: usize) -> Method {
     let b = (n / 16).clamp(2, 32);
-    match name {
+    match o.method.as_str() {
         "direct" => Method::Direct { nb: 32 },
         "magma" => Method::Sbr {
             b,
             parallel_sweeps: 1,
         },
-        "proposed" => Method::paper_default(n),
+        "proposed" => {
+            let mut m = Method::paper_default(n);
+            if let Method::Dbbr { cfg, .. } = &mut m {
+                cfg.lookahead = !o.no_lookahead;
+            }
+            m
+        }
         other => fail(format!("unknown method: {other}")),
     }
 }
@@ -388,7 +402,7 @@ fn main() {
             let n = a.nrows();
             let red = with_trace(&o, || {
                 with_check(&o, || {
-                    tridiagonalize(&mut a.clone(), &tridiag_method(&o.method, n))
+                    tridiagonalize(&mut a.clone(), &tridiag_method(&o, n))
                 })
             });
             write_matrix_market(output, &red.tri.to_dense(), true).unwrap_or_else(|e| fail(e));

@@ -18,13 +18,15 @@
 use crate::sbr::BandReduction;
 use crate::workspace::{AllocPool, WorkspacePool};
 use tg_blas::level3::symm_lower;
-use tg_blas::{gemm, gemm_into, syr2k_blocked, syr2k_square, Op};
+use tg_blas::{
+    gemm, gemm_into, syr2k_blocked, syr2k_blocked_head, syr2k_square, syr2k_square_head, Op,
+};
 use tg_householder::panel::panel_qr;
 use tg_householder::wblock::WyPair;
 use tg_matrix::{Mat, SymBand};
 
 /// Configuration for [`dbbr`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DbbrConfig {
     /// Target bandwidth (the paper uses `b = 32` on H100).
     pub b: usize,
@@ -36,21 +38,75 @@ pub struct DbbrConfig {
     /// Use the Figure-7 square-block `syr2k` for the trailing update
     /// (the paper's §5.1 optimization) instead of the conventional one.
     pub square_syr2k: bool,
+    /// Depth-1 look-ahead: factorize the next outer block's first panel on
+    /// a dedicated worker while the remainder of the deferred trailing
+    /// update runs. Bitwise-identical output either way (see
+    /// `docs/PERFORMANCE.md`, "Stage-1 look-ahead").
+    pub lookahead: bool,
 }
 
+/// Why a [`DbbrConfig`] was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbbrConfigError {
+    /// `b = 0`: the band must be at least one diagonal wide.
+    ZeroBandwidth,
+    /// `k = 0`: at least one panel must accumulate per outer block.
+    ZeroAccumulation,
+    /// `k < b`: the accumulation window cannot hold even one panel.
+    AccumulationTooNarrow { b: usize, k: usize },
+    /// `k % b != 0`: panels of width `b` must tile the window exactly.
+    NotAMultiple { b: usize, k: usize },
+}
+
+impl std::fmt::Display for DbbrConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbbrConfigError::ZeroBandwidth => write!(f, "bandwidth b must be at least 1"),
+            DbbrConfigError::ZeroAccumulation => {
+                write!(f, "accumulation width k must be at least 1")
+            }
+            DbbrConfigError::AccumulationTooNarrow { b, k } => write!(
+                f,
+                "accumulation width k={k} is narrower than the bandwidth b={b}"
+            ),
+            DbbrConfigError::NotAMultiple { b, k } => {
+                write!(f, "k={k} must be a multiple of b={b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbbrConfigError {}
+
 impl DbbrConfig {
-    /// Paper defaults scaled for the given problem size.
+    /// Paper defaults scaled for the given problem size; panics on an
+    /// invalid `(b, k)` pair. Use [`DbbrConfig::try_new`] to handle the
+    /// error instead.
     pub fn new(b: usize, k: usize) -> Self {
-        assert!(
-            b >= 1 && k >= b && k.is_multiple_of(b),
-            "k must be a multiple of b"
-        );
-        DbbrConfig {
+        Self::try_new(b, k).unwrap_or_else(|e| panic!("invalid DbbrConfig: {e}"))
+    }
+
+    /// Validating constructor: `b ≥ 1`, `k ≥ b`, and `k` a multiple of `b`.
+    pub fn try_new(b: usize, k: usize) -> Result<Self, DbbrConfigError> {
+        if b == 0 {
+            return Err(DbbrConfigError::ZeroBandwidth);
+        }
+        if k == 0 {
+            return Err(DbbrConfigError::ZeroAccumulation);
+        }
+        if k < b {
+            return Err(DbbrConfigError::AccumulationTooNarrow { b, k });
+        }
+        if !k.is_multiple_of(b) {
+            return Err(DbbrConfigError::NotAMultiple { b, k });
+        }
+        Ok(DbbrConfig {
             b,
             k,
             nb_syr2k: 32,
             square_syr2k: true,
-        }
+            lookahead: true,
+        })
     }
 }
 
@@ -73,6 +129,11 @@ pub fn dbbr_ws(a: &mut Mat, cfg: &DbbrConfig, pool: &mut dyn WorkspacePool) -> B
     assert!(b >= 1 && k >= b && k % b == 0);
     let mut factors: Vec<(usize, WyPair)> = Vec::new();
 
+    // Depth-1 look-ahead state: the `(W, Y)` pair of the next outer
+    // block's first panel, factorized by a worker while the previous
+    // trailing update ran (see the trailing section below).
+    let mut pending: Option<(Mat, Mat)> = None;
+
     let mut i = 0;
     while i + b + 1 < n {
         // This outer block accumulates panels j = i, i+b, … while j < i+k.
@@ -83,43 +144,60 @@ pub fn dbbr_ws(a: &mut Mat, cfg: &DbbrConfig, pool: &mut dyn WorkspacePool) -> B
         let mut j = i;
         while j < i + k && j + b + 1 < n {
             let m = n - j - b;
-            // ── lines 7–12: bring this panel up to date with the pending
-            //    factors of the current outer block (just-in-time form).
-            //    The paper's "green panel" is A[j..n, j..j+b]: the diagonal
-            //    block (final band output!) plus the sub-panel.
-            if kacc > 0 {
-                // diagonal block [j..j+b)² — lower triangle only
-                {
-                    let zd = zbig.view(j - b - i, 0, b, kacc);
-                    let yd = ybig.view(j - b - i, 0, b, kacc);
-                    let mut diag = a.view_mut(j, j, b, b);
-                    tg_blas::level3::syr2k_ref(-1.0, &zd, &yd, 1.0, &mut diag);
+            // ── lines 5–12: obtain this panel's `(W, Y)`. Normally that is
+            //    the just-in-time update followed by the panel QR, done
+            //    right here; with look-ahead the first panel of this outer
+            //    block was already updated and factorized by the worker
+            //    that overlapped the previous trailing `syr2k`.
+            let (w, y) = match pending.take() {
+                Some(wy) => wy,
+                None => {
+                    // ── lines 7–12: bring this panel up to date with the
+                    //    pending factors of the current outer block
+                    //    (just-in-time form). The paper's "green panel" is
+                    //    A[j..n, j..j+b]: the diagonal block (final band
+                    //    output!) plus the sub-panel.
+                    if kacc > 0 {
+                        // diagonal block [j..j+b)² — lower triangle only
+                        {
+                            let zd = zbig.view(j - b - i, 0, b, kacc);
+                            let yd = ybig.view(j - b - i, 0, b, kacc);
+                            let mut diag = a.view_mut(j, j, b, b);
+                            tg_blas::level3::syr2k_ref(-1.0, &zd, &yd, 1.0, &mut diag);
+                        }
+                        // rectangular sub-panel [j+b..n) × [j..j+b)
+                        let zp = zbig.view(j - i, 0, m, kacc); // Z rows j+b..n
+                        let ytop = ybig.view(j - b - i, 0, b, kacc); // Y rows j..j+b
+                        let ylow = ybig.view(j - i, 0, m, kacc);
+                        let ztop = zbig.view(j - b - i, 0, b, kacc);
+                        let mut panel = a.view_mut(j + b, j, m, b);
+                        gemm(-1.0, &zp, Op::NoTrans, &ytop, Op::Trans, 1.0, &mut panel);
+                        gemm(-1.0, &ylow, Op::NoTrans, &ztop, Op::Trans, 1.0, &mut panel);
+                    }
+                    // ── line 5: QR-factorize the panel
+                    let pq = {
+                        let mut panel = a.view_mut(j + b, j, m, b);
+                        panel_qr(&mut panel)
+                    };
+                    for c in 0..b {
+                        for r in (c + 1)..m {
+                            a[(j + b + r, j + c)] = 0.0;
+                        }
+                    }
+                    (pq.block.w(), pq.block.v.clone()) // both m × kr
                 }
-                // rectangular sub-panel [j+b..n) × [j..j+b)
-                let zp = zbig.view(j - i, 0, m, kacc); // Z rows j+b..n
-                let ytop = ybig.view(j - b - i, 0, b, kacc); // Y rows j..j+b
-                let ylow = ybig.view(j - i, 0, m, kacc);
-                let ztop = zbig.view(j - b - i, 0, b, kacc);
-                let mut panel = a.view_mut(j + b, j, m, b);
-                gemm(-1.0, &zp, Op::NoTrans, &ytop, Op::Trans, 1.0, &mut panel);
-                gemm(-1.0, &ylow, Op::NoTrans, &ztop, Op::Trans, 1.0, &mut panel);
-            }
-            // ── line 5: QR-factorize the panel
-            let pq = {
-                let mut panel = a.view_mut(j + b, j, m, b);
-                panel_qr(&mut panel)
             };
-            let kr = pq.block.k();
-            for c in 0..b {
-                for r in (c + 1)..m {
-                    a[(j + b + r, j + c)] = 0.0;
-                }
-            }
-            let y = pq.block.v.clone(); // m × kr
-            let w = pq.block.w(); // m × kr
-                                  // ── corrected ZY computation against the *virtually updated*
-                                  //    trailing matrix Â = A − Σ pending (Z Yᵀ + Y Zᵀ):
-                                  //    U = Â W,  S = Wᵀ U,  Z = U − ½ Y S
+            // tg-check fault hook (site `blas.panel_qr`): corrupts the
+            // freshly computed panel W on the orchestrating thread — the
+            // same thread for the inline and look-ahead paths, so serve's
+            // fired-on-thread retry classification sees both. Inert
+            // without a live check session.
+            let mut w = w;
+            tg_check::fault::inject_mat("blas.panel_qr", &mut w);
+            let kr = y.ncols();
+            // ── corrected ZY computation against the *virtually updated*
+            //    trailing matrix Â = A − Σ pending (Z Yᵀ + Y Zᵀ):
+            //    U = Â W,  S = Wᵀ U,  Z = U − ½ Y S
             let mut u = pool.acquire(m, kr);
             {
                 let trail = a.view(j + b, j + b, m, m);
@@ -180,22 +258,112 @@ pub fn dbbr_ws(a: &mut Mat, cfg: &DbbrConfig, pool: &mut dyn WorkspacePool) -> B
         // ── line 15: deferred trailing update with the wide syr2k.
         // Panels covered columns [i, j); everything from t0 = j on still
         // carries the accumulated rank-2·kacc update.
+        //
+        // With look-ahead on, the update is split at a task-aligned column
+        // boundary `split ≥ b`: the head strip (which contains the next
+        // outer block's first panel) is updated first, then that panel is
+        // QR-factorized on a dedicated worker *concurrently* with the tail
+        // of the update. The head/tail split and the worker's serial
+        // dispatch are both bitwise-identical to the unsplit serial path
+        // (see `syr2k_square_head` and `docs/PERFORMANCE.md`).
         let t0 = j;
         if kacc > 0 && t0 < n {
             let mt = n - t0;
-            let zt = zbig.view(t0 - i - b, 0, mt, kacc);
-            let yt = ybig.view(t0 - i - b, 0, mt, kacc);
-            let mut trail = a.view_mut(t0, t0, mt, mt);
-            if cfg.square_syr2k {
-                syr2k_square(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k, 2);
+            let align = if cfg.square_syr2k {
+                cfg.nb_syr2k * 2 // super-block size of the Figure-7 grid
             } else {
-                syr2k_blocked(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k);
+                cfg.nb_syr2k
+            };
+            let split = (b.div_ceil(align) * align).min(mt);
+            // Engage only when a next panel actually exists (t0 + b + 1 < n
+            // exactly characterizes "the next outer iteration runs and its
+            // first panel is this one") and the tail is non-empty.
+            if cfg.lookahead && t0 + b + 1 < n && split < mt {
+                {
+                    let zt = zbig.view(t0 - i - b, 0, mt, kacc);
+                    let yt = ybig.view(t0 - i - b, 0, mt, kacc);
+                    let mut trail = a.view_mut(t0, t0, mt, mt);
+                    if cfg.square_syr2k {
+                        syr2k_square_head(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k, 2, split);
+                    } else {
+                        syr2k_blocked_head(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k, split);
+                    }
+                }
+                let ztail = zbig.view(t0 - i - b + split, 0, mt - split, kacc);
+                let ytail = ybig.view(t0 - i - b + split, 0, mt - split, kacc);
+                // Carve the trailing view into the (now fully updated)
+                // next panel and the square tail — element-disjoint, so
+                // the worker and the pool can mutate them concurrently.
+                let trail = a.view_mut(t0, t0, mt, mt);
+                let (panel_cols, rest) = trail.split_at_col(b);
+                let (_band_rows, mut panel) = panel_cols.split_at_row(b);
+                let (_head_cols, tail_cols) = rest.split_at_col(split - b);
+                let (_head_rows, mut tail) = tail_cols.split_at_row(split);
+                let region = tg_trace::RegionId::fresh();
+                let _rspan = tg_trace::span_region(
+                    "parallel.stage1",
+                    "region",
+                    Some(("t0", t0 as u64)),
+                    region,
+                );
+                pending = std::thread::scope(|scope| {
+                    let worker = scope.spawn(move || {
+                        // Serial dispatch inside the worker: its GEMMs are
+                        // bitwise-identical to the parallel ones (the PR 5
+                        // contract), and the pool stays free for the tail.
+                        let _nested = tg_blas::threads::enter_parallel_region();
+                        let _lane = tg_trace::span_region(
+                            "stage1.lookahead_worker",
+                            "worker",
+                            None,
+                            region,
+                        );
+                        let _task =
+                            tg_trace::span_region("task.stage1_panel", "task", None, region);
+                        let mp = panel.nrows();
+                        let pq = panel_qr(&mut panel);
+                        for c in 0..b {
+                            let col = panel.col_mut(c);
+                            col[(c + 1)..mp].fill(0.0);
+                        }
+                        (pq.block.w(), pq.block.v.clone())
+                    });
+                    {
+                        let _task = tg_trace::span_region("task.stage1_tail", "task", None, region);
+                        if cfg.square_syr2k {
+                            syr2k_square(-1.0, &ztail, &ytail, 1.0, &mut tail, cfg.nb_syr2k, 2);
+                        } else {
+                            syr2k_blocked(-1.0, &ztail, &ytail, 1.0, &mut tail, cfg.nb_syr2k);
+                        }
+                    }
+                    let wait_from = std::time::Instant::now();
+                    let wy = worker.join().expect("look-ahead panel worker panicked");
+                    tg_trace::record_span(
+                        "stage1.wait_panel",
+                        "wait",
+                        None,
+                        wait_from,
+                        std::time::Instant::now(),
+                        region,
+                    );
+                    Some(wy)
+                });
+            } else {
+                let zt = zbig.view(t0 - i - b, 0, mt, kacc);
+                let yt = ybig.view(t0 - i - b, 0, mt, kacc);
+                let mut trail = a.view_mut(t0, t0, mt, mt);
+                if cfg.square_syr2k {
+                    syr2k_square(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k, 2);
+                } else {
+                    syr2k_blocked(-1.0, &zt, &yt, 1.0, &mut trail, cfg.nb_syr2k);
+                }
             }
         }
         pool.release(zbig);
         pool.release(ybig);
         i += k;
     }
+    debug_assert!(pending.is_none(), "look-ahead panel never consumed");
 
     BandReduction {
         band: SymBand::from_dense_lower(a, b),
@@ -277,6 +445,90 @@ mod tests {
     #[should_panic]
     fn k_must_be_multiple_of_b() {
         let _ = DbbrConfig::new(3, 7);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            DbbrConfig::try_new(0, 8),
+            Err(DbbrConfigError::ZeroBandwidth)
+        );
+        assert_eq!(
+            DbbrConfig::try_new(4, 0),
+            Err(DbbrConfigError::ZeroAccumulation)
+        );
+        assert_eq!(
+            DbbrConfig::try_new(8, 4),
+            Err(DbbrConfigError::AccumulationTooNarrow { b: 8, k: 4 })
+        );
+        assert_eq!(
+            DbbrConfig::try_new(3, 7),
+            Err(DbbrConfigError::NotAMultiple { b: 3, k: 7 })
+        );
+        let cfg = DbbrConfig::try_new(4, 16).expect("valid");
+        assert!(cfg.lookahead, "look-ahead is the default");
+        // error messages are human-readable (new() panics with them)
+        assert!(DbbrConfigError::NotAMultiple { b: 3, k: 7 }
+            .to_string()
+            .contains("multiple"));
+    }
+
+    /// The tentpole contract: look-ahead on vs off is bitwise-identical —
+    /// band, factor offsets, and every W/Y entry — including ragged tails
+    /// and both syr2k blockings.
+    #[test]
+    fn lookahead_is_bitwise_identical_to_serial() {
+        for &(n, b, k, seed, square) in &[
+            (48usize, 4usize, 8usize, 31u64, true),
+            (48, 4, 8, 31, false),
+            (51, 4, 12, 32, true), // ragged last panels, n % k ≠ 0
+            (40, 2, 8, 33, true),
+            (26, 3, 6, 34, false),
+        ] {
+            let a0 = gen::random_symmetric(n, seed);
+            let mut serial_cfg = DbbrConfig::new(b, k);
+            serial_cfg.square_syr2k = square;
+            serial_cfg.nb_syr2k = 4; // small blocks so look-ahead engages
+            serial_cfg.lookahead = false;
+            let mut la_cfg = serial_cfg.clone();
+            la_cfg.lookahead = true;
+
+            let reference = dbbr(&mut a0.clone(), &serial_cfg);
+            let mut out = a0.clone();
+            let red = dbbr(&mut out, &la_cfg);
+            assert_eq!(red.band, reference.band, "band differs (n={n},b={b},k={k})");
+            assert_eq!(red.factors.len(), reference.factors.len());
+            for ((o1, f1), (o2, f2)) in red.factors.iter().zip(&reference.factors) {
+                assert_eq!(o1, o2);
+                assert_eq!(f1.w, f2.w, "W differs (n={n},b={b},k={k})");
+                assert_eq!(f1.y, f2.y, "Y differs (n={n},b={b},k={k})");
+            }
+        }
+    }
+
+    /// Look-ahead through a recycling pool stays bitwise-identical and
+    /// still hits the pool on the second pass.
+    #[test]
+    fn lookahead_ws_bitwise_matches_serial_through_pool() {
+        let n = 44;
+        let mut serial_cfg = DbbrConfig::new(4, 8);
+        serial_cfg.nb_syr2k = 4;
+        serial_cfg.lookahead = false;
+        let mut la_cfg = serial_cfg.clone();
+        la_cfg.lookahead = true;
+        let a0 = gen::random_symmetric(n, 35);
+        let reference = dbbr(&mut a0.clone(), &serial_cfg);
+        let mut pool = RecyclingPool::default();
+        for pass in 0..2 {
+            let red = dbbr_ws(&mut a0.clone(), &la_cfg, &mut pool);
+            assert_eq!(red.band, reference.band, "band differs on pass {pass}");
+            for ((o1, f1), (o2, f2)) in red.factors.iter().zip(&reference.factors) {
+                assert_eq!(o1, o2);
+                assert_eq!(f1.w, f2.w, "W differs on pass {pass}");
+                assert_eq!(f1.y, f2.y, "Y differs on pass {pass}");
+            }
+        }
+        assert!(pool.reused > 0, "second pass never hit the pool");
     }
 
     /// Minimal conforming caching pool: recycles buffers by exact length,

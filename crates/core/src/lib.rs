@@ -27,7 +27,7 @@ pub mod workspace;
 
 pub use backtransform::{PanelPools, PANEL_COLS};
 pub use bc::{bulge_chase_pipelined, bulge_chase_seq, BcResult};
-pub use dbbr::{dbbr, dbbr_ws, DbbrConfig};
+pub use dbbr::{dbbr, dbbr_ws, DbbrConfig, DbbrConfigError};
 pub use givens_tridiag::givens_tridiagonalize;
 pub use sbr::{band_reduce, BandReduction};
 pub use sytrd::{sytrd_blocked, sytrd_unblocked, SytrdResult};

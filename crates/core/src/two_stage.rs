@@ -44,7 +44,9 @@ pub enum Method {
 
 impl Method {
     /// The paper's recommended configuration (`b = 32`, `k = 1024` scaled
-    /// down proportionally for small matrices).
+    /// down proportionally for small matrices). Stage-1 look-ahead comes
+    /// on by default via [`DbbrConfig::new`]; clear `cfg.lookahead` for
+    /// the strictly serial schedule (bitwise-identical either way).
     pub fn paper_default(n: usize) -> Method {
         let b = 32.min((n / 8).max(2));
         let k = (b * 8).min(1024);

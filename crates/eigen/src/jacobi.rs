@@ -129,6 +129,7 @@ mod tests {
                 k: 8,
                 parallel_sweeps: 2,
                 backtransform_k: 8,
+                lookahead: true,
             },
             false,
         )

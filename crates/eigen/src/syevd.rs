@@ -41,6 +41,9 @@ pub enum EvdMethod {
         parallel_sweeps: usize,
         /// Back-transformation block width (paper: 2048).
         backtransform_k: usize,
+        /// Stage-1 depth-1 look-ahead (panel QR overlapped with the
+        /// trailing update); bitwise-identical output either way.
+        lookahead: bool,
     },
 }
 
@@ -56,11 +59,16 @@ impl EvdMethod {
                 b,
                 k,
                 parallel_sweeps,
+                lookahead,
                 ..
-            } => Method::Dbbr {
-                cfg: DbbrConfig::new(*b, *k),
-                parallel_sweeps: *parallel_sweeps,
-            },
+            } => {
+                let mut cfg = DbbrConfig::new(*b, *k);
+                cfg.lookahead = *lookahead;
+                Method::Dbbr {
+                    cfg,
+                    parallel_sweeps: *parallel_sweeps,
+                }
+            }
         }
     }
 
@@ -72,6 +80,7 @@ impl EvdMethod {
             k: (b * 8).min(1024),
             parallel_sweeps: 4,
             backtransform_k: default_backtransform_k(b, n),
+            lookahead: true,
         }
     }
 }
@@ -260,6 +269,7 @@ mod tests {
                 k: b * 4,
                 parallel_sweeps: 3,
                 backtransform_k: default_backtransform_k(b, n),
+                lookahead: true,
             },
         ]
     }

@@ -75,11 +75,16 @@ impl EvdMethod {
                 b,
                 k,
                 parallel_sweeps,
+                lookahead,
                 ..
-            } => Method::Dbbr {
-                cfg: DbbrConfig::new(*b, *k),
-                parallel_sweeps: *parallel_sweeps,
-            },
+            } => {
+                let mut cfg = DbbrConfig::new(*b, *k);
+                cfg.lookahead = *lookahead;
+                Method::Dbbr {
+                    cfg,
+                    parallel_sweeps: *parallel_sweeps,
+                }
+            }
         }
     }
 }

@@ -146,6 +146,114 @@ pub fn backtransform_ours(dev: &Device, n: usize, b: usize, k: usize) -> f64 {
     t
 }
 
+/// Counted FLOPs of one `tg_blas::syr2k_blocked(n, rank k, block nb)`
+/// call — an exact replay of the instrumented arithmetic: per column
+/// panel of width `w`, the triangular `syr2k_ref` charges 4 flops per
+/// (lower-triangle element, rank index) = `2·k·w·(w+1)`, and the
+/// sub-diagonal strip is a pair of `m × w × k` GEMMs at `2mwk` each.
+pub fn syr2k_blocked_flops(n: usize, k: usize, nb: usize) -> f64 {
+    let mut t = 0.0;
+    let mut j = 0;
+    while j < n {
+        let w = nb.min(n - j);
+        t += 2.0 * k as f64 * w as f64 * (w as f64 + 1.0);
+        let m = n - j - w;
+        if m > 0 {
+            t += 4.0 * m as f64 * w as f64 * k as f64;
+        }
+        j += w;
+    }
+    t
+}
+
+/// Counted FLOPs of one `tg_blas::syr2k_square(n, rank k, nb, g)` call —
+/// diagonal super-blocks delegate to [`syr2k_blocked_flops`], off-diagonal
+/// super-blocks are square GEMM pairs.
+pub fn syr2k_square_flops(n: usize, k: usize, nb: usize, g: usize) -> f64 {
+    let sb = nb * g;
+    let mut t = 0.0;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = sb.min(n - j0);
+        t += syr2k_blocked_flops(w, k, nb);
+        let mut i0 = j0 + w;
+        while i0 < n {
+            let h = sb.min(n - i0);
+            t += 4.0 * h as f64 * w as f64 * k as f64;
+            i0 += h;
+        }
+        j0 += w;
+    }
+    t
+}
+
+/// Counted FLOPs of one stage-1 panel QR on an `m × b` panel: the
+/// instrumented arithmetic is the compact-WY `T` assembly (per reflector
+/// `j ≥ 1` with a non-degenerate tail, one `2·j·m` GEMM — a length-1
+/// reflector gets `τ = 0` and skips it) plus the `W = V·T` GEMM
+/// (`2·m·kr²`). The `geqr2` reflector math itself is BLAS-1 and
+/// uninstrumented by design.
+pub fn stage1_panel_flops(m: usize, b: usize) -> f64 {
+    let kr = m.min(b);
+    let mut t = 0.0;
+    for j in 1..kr {
+        if m - j >= 2 {
+            t += 2.0 * j as f64 * m as f64;
+        }
+    }
+    t + 2.0 * m as f64 * kr as f64 * kr as f64
+}
+
+/// The replayed depth-1 look-ahead schedule of `tridiag_core::dbbr_ws`
+/// (square trailing `syr2k`, the implementation's `g = 2`).
+pub struct Stage1Overlap {
+    /// Number of engaged look-ahead regions (one per overlapped trailing
+    /// update).
+    pub regions: usize,
+    /// Counted FLOPs of all worker-side panel factorizations.
+    pub panel_flops: f64,
+    /// Counted FLOPs of all overlapped tail `syr2k` updates.
+    pub tail_flops: f64,
+}
+
+/// Replays DBBR's outer/inner loop structure with look-ahead on and
+/// predicts, exactly, how many overlap regions engage and the instrumented
+/// FLOPs of the worker-side panels (`task.stage1_panel`) and the
+/// overlapped tails (`task.stage1_tail`). Mirrors the engage condition in
+/// `dbbr_ws`: a region forms when factors accumulated, the next outer
+/// block's first panel exists (`t0 + b + 1 < n`), and the sb-aligned split
+/// leaves a non-empty tail.
+pub fn stage1_overlap_schedule(n: usize, b: usize, k: usize, nb_syr2k: usize) -> Stage1Overlap {
+    let sb = nb_syr2k * 2; // square scheme, g = 2 as in dbbr_ws
+    let mut out = Stage1Overlap {
+        regions: 0,
+        panel_flops: 0.0,
+        tail_flops: 0.0,
+    };
+    let mut i = 0;
+    while i + b + 1 < n {
+        let mut kacc = 0;
+        let mut j = i;
+        while j < i + k && j + b + 1 < n {
+            let m = n - j - b;
+            kacc += m.min(b);
+            j += b;
+        }
+        let t0 = j;
+        if kacc > 0 && t0 < n {
+            let mt = n - t0;
+            let split = (b.div_ceil(sb) * sb).min(mt);
+            if t0 + b + 1 < n && split < mt {
+                out.regions += 1;
+                out.panel_flops += stage1_panel_flops(mt - b, b);
+                out.tail_flops += syr2k_square_flops(mt - split, kacc, nb_syr2k, 2);
+            }
+        }
+        i += k;
+    }
+    out
+}
+
 /// Exact merge-flop count of the Figure-13 blocked back transformation.
 ///
 /// Replays the grouping, zero-padding and pairwise level structure of

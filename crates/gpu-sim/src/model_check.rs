@@ -333,6 +333,106 @@ pub fn check_backtransform(n: usize, b: usize, k: usize) -> Vec<ModelRow> {
     ]
 }
 
+/// Reconciles DBBR's stage-1 look-ahead schedule against the replayed
+/// overlap model ([`crate::compose::stage1_overlap_schedule`]), all on
+/// deterministic counters:
+///
+/// * `regions` — one `parallel.stage1` region per engaged look-ahead step,
+///   exactly as the replay predicts;
+/// * `worker_lanes` / `overlap_tasks` — every region must report two
+///   distinct lanes (the dedicated panel worker plus the updating thread)
+///   and two member tasks (`task.stage1_panel`, `task.stage1_tail`):
+///   the overlap is visible to the observatory, not just implied;
+/// * `panel_flops` / `tail_flops` — the `Flops` counted inside the worker
+///   panel spans and the overlapped tail spans must match the replay's
+///   exact WY-assembly and `syr2k` arithmetic within [`TOLERANCE`].
+///
+/// The reduction is measured under a `tg_blas` nested-region guard so the
+/// tail `syr2k` dispatches serially on the measuring thread — its flops
+/// then nest inside the `task.stage1_tail` span (results are
+/// bitwise-identical either way, the PR 5 contract; only the counter
+/// attribution needs the serial schedule).
+pub fn check_stage1_overlap(n: usize, b: usize, k: usize) -> Vec<ModelRow> {
+    use tridiag_core::{dbbr_ws, AllocPool, DbbrConfig};
+
+    let mut cfg = DbbrConfig::new(b, k);
+    // Small syr2k blocks so the sb-aligned split leaves a non-empty tail
+    // (and look-ahead engages) at cross-check sizes; the replay uses the
+    // same blocking.
+    cfg.nb_syr2k = 4;
+    cfg.lookahead = true;
+    let sched = crate::compose::stage1_overlap_schedule(n, b, k, cfg.nb_syr2k);
+
+    let mut a = gen::random_symmetric(n, 91);
+    let t = measure(|| {
+        let _serial = tg_blas::threads::enter_parallel_region();
+        let _ = dbbr_ws(&mut a, &cfg, &mut AllocPool);
+    });
+
+    let regions = t
+        .events
+        .iter()
+        .filter(|e| e.name == "parallel.stage1")
+        .count();
+    let flops_of = |name: &str| -> f64 {
+        t.events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.counter(Counter::Flops) as f64)
+            .sum()
+    };
+    let stage1_regions: Vec<_> = t
+        .region_utilization()
+        .into_iter()
+        .filter(|r| r.name == "parallel.stage1")
+        .collect();
+    let lanes: usize = stage1_regions.iter().map(|r| r.workers).sum();
+    let tasks: usize = stage1_regions.iter().map(|r| r.tasks).sum();
+
+    vec![
+        ModelRow {
+            kernel: "stage1_overlap",
+            shape: (n, b, k),
+            quantity: "regions",
+            measured: regions as f64,
+            modeled: sched.regions as f64,
+            tol: 0.0,
+        },
+        ModelRow {
+            kernel: "stage1_overlap",
+            shape: (n, b, k),
+            quantity: "worker_lanes",
+            measured: lanes as f64,
+            modeled: 2.0 * sched.regions as f64,
+            tol: 0.0,
+        },
+        ModelRow {
+            kernel: "stage1_overlap",
+            shape: (n, b, k),
+            quantity: "overlap_tasks",
+            measured: tasks as f64,
+            modeled: 2.0 * sched.regions as f64,
+            tol: 0.0,
+        },
+        ModelRow {
+            kernel: "stage1_overlap",
+            shape: (n, b, k),
+            quantity: "panel_flops",
+            measured: flops_of("task.stage1_panel"),
+            modeled: sched.panel_flops,
+            tol: TOLERANCE,
+        },
+        ModelRow {
+            kernel: "stage1_overlap",
+            shape: (n, b, k),
+            quantity: "tail_flops",
+            measured: flops_of("task.stage1_tail"),
+            modeled: sched.tail_flops,
+            tol: TOLERANCE,
+        },
+    ]
+}
+
 /// Tolerated wall-time ratio drift for the checker-overhead row: wall
 /// clocks see scheduler noise, so the budget is far looser than the
 /// counter comparisons (the EXPERIMENTS.md <2% overhead claim is measured
@@ -455,6 +555,27 @@ mod tests {
     #[test]
     fn batched_evd_flops_and_hits_match_model() {
         for r in check_batched_evd(32, 5) {
+            assert!(
+                r.within_tolerance(),
+                "{} {:?} {}: measured {} vs model {} ({:.2}%)",
+                r.kernel,
+                r.shape,
+                r.quantity,
+                r.measured,
+                r.modeled,
+                r.rel_err() * 100.0
+            );
+        }
+    }
+
+    /// Acceptance criterion: the stage-1 look-ahead trace reconciles with
+    /// the replayed overlap schedule — region/lane/task counts exactly,
+    /// panel and tail flops within 1 %.
+    #[test]
+    fn stage1_overlap_reconciles_with_replay() {
+        let rows = check_stage1_overlap(72, 8, 16);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
             assert!(
                 r.within_tolerance(),
                 "{} {:?} {}: measured {} vs model {} ({:.2}%)",

@@ -85,15 +85,18 @@ impl CacheKey {
                 h.write_u64(*b as u64);
                 1u8
             }
-            // `parallel_sweeps` intentionally not hashed: bulge-chasing
-            // results are bitwise-identical across sweep counts
-            // (tests/bc_determinism.rs), so folding it in would split
-            // identical results across distinct keys.
+            // `parallel_sweeps` and `lookahead` intentionally not hashed:
+            // bulge-chasing results are bitwise-identical across sweep
+            // counts (tests/bc_determinism.rs) and stage-1 look-ahead is
+            // bitwise-identical to the serial path
+            // (tests/stage1_determinism.rs), so folding either in would
+            // split identical results across distinct keys.
             EvdMethod::Proposed {
                 b,
                 k,
                 parallel_sweeps: _,
                 backtransform_k,
+                lookahead: _,
             } => {
                 h.write_u64(*b as u64);
                 h.write_u64(*k as u64);
@@ -367,12 +370,14 @@ mod tests {
             k: 4,
             parallel_sweeps: 1,
             backtransform_k: 8,
+            lookahead: true,
         };
         let more_sweeps = EvdMethod::Proposed {
             b: 2,
             k: 4,
             parallel_sweeps: 4,
             backtransform_k: 8,
+            lookahead: true,
         };
         assert_eq!(
             CacheKey::derive(&a, &base, true),

@@ -199,6 +199,14 @@ pub struct Event {
     pub region: Option<u64>,
 }
 
+impl Event {
+    /// Value of counter `c` attributed to this span (nested spans on the
+    /// same thread included — counters roll up to the enclosing frame).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+}
+
 /// Everything recorded between [`TraceSession::begin`] and
 /// [`TraceSession::finish`].
 #[derive(Clone, Debug)]

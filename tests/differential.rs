@@ -144,7 +144,7 @@ proptest! {
             .eigenvalues;
         for m in [
             EvdMethod::MagmaLike { b },
-            EvdMethod::Proposed { b, k: 2 * b, parallel_sweeps: 2, backtransform_k: 4 * b },
+            EvdMethod::Proposed { b, k: 2 * b, parallel_sweeps: 2, backtransform_k: 4 * b, lookahead: true },
         ] {
             let got = syevd(&mut a.clone(), &m, true).unwrap().eigenvalues;
             assert_spectra_match(n, &reference, &got, &format!("{m:?}"));

@@ -25,6 +25,7 @@ fn evd_method() -> EvdMethod {
         k: 8,
         parallel_sweeps: 2,
         backtransform_k: 8,
+        lookahead: true,
     }
 }
 

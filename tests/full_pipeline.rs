@@ -56,6 +56,7 @@ fn planted_spectrum_recovered_by_all_drivers() {
             k: 16,
             parallel_sweeps: 4,
             backtransform_k: 32,
+            lookahead: true,
         },
     ];
     let mut sorted = eigs.clone();
@@ -136,6 +137,7 @@ fn vector_and_value_paths_agree() {
         k: 9,
         parallel_sweeps: 2,
         backtransform_k: 18,
+        lookahead: true,
     };
     let only_values = syevd(&mut a.clone(), &m, false).unwrap();
     let with_vectors = syevd(&mut a.clone(), &m, true).unwrap();

@@ -10,6 +10,7 @@ fn proposed(n: usize) -> EvdMethod {
         k: 2 * b,
         parallel_sweeps: 3,
         backtransform_k: 4 * b,
+        lookahead: true,
     }
 }
 

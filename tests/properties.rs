@@ -53,6 +53,7 @@ proptest! {
             k: b * 2,
             parallel_sweeps: 2,
             backtransform_k: b * 4,
+            lookahead: true,
         };
         let evd = syevd(&mut a.clone(), &m, true).unwrap();
         prop_assert!(evd.residual(&a) < 1e-10);
